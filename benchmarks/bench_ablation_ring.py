@@ -1,0 +1,85 @@
+"""Ablation — extra-partition transport (§V-D's design choice).
+
+When a node hosts extra partitions, FanStore copies them from its ring
+neighbor instead of re-reading the shared file system. Functional:
+real ring replication through the communicator. Modeled: ring-copy vs
+shared-FS re-read stage-in time across scales.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.sharedfs import default_lustre
+from repro.bench.report import PaperComparison
+from repro.comm.launcher import run_parallel
+from repro.comm.ring import ring_replicate
+from repro.simnet.network import omni_path
+from repro.util.units import GB, MB
+
+PARTITION_BYTES = 4 * GB  # a 4 GB partition per node
+
+
+def _modeled_stage_in(nodes: int, copies: int) -> tuple[float, float]:
+    """(ring seconds, shared-FS re-read seconds) for every node to gain
+    ``copies`` extra partitions."""
+    net = omni_path()
+    # ring: `copies` neighbor hops, all links busy simultaneously
+    ring = copies * net.ring_shift_time(PARTITION_BYTES)
+    # shared FS: nodes×copies partitions re-read against the aggregate
+    shared = default_lustre()
+    total_bytes = nodes * copies * PARTITION_BYTES
+    refetch = total_bytes / shared.aggregate_bandwidth
+    return ring, refetch
+
+
+def test_ablation_ring_modeled(benchmark, emit_report):
+    rows = benchmark.pedantic(
+        lambda: {
+            n: _modeled_stage_in(n, copies=1) for n in (4, 64, 512)
+        },
+        rounds=1, iterations=1,
+    )
+    report = PaperComparison(
+        "Ablation (ring vs shared-FS re-read)",
+        "stage-in time for one extra 4 GB partition per node",
+        columns=["nodes", "ring copy", "shared FS re-read", "ratio"],
+    )
+    for n, (ring, refetch) in rows.items():
+        report.add_row(
+            n, f"{ring:.2f} s", f"{refetch:.2f} s", f"{refetch / ring:.1f}x"
+        )
+    report.add_note("the ring is contention-free by construction: its "
+                    "cost is flat in node count; the shared FS re-read "
+                    "grows linearly")
+    emit_report(report)
+
+    ring4, refetch4 = rows[4]
+    ring512, refetch512 = rows[512]
+    assert ring512 == pytest.approx(ring4)  # flat
+    assert refetch512 == pytest.approx(refetch4 * 128, rel=0.01)  # linear
+    assert refetch512 > 50 * ring512
+
+
+def test_ablation_ring_functional(benchmark, emit_report):
+    """Real neighbor copies: 4 ranks, 256 KiB blocks, 2 hops each."""
+    block = bytes(256 * 1024)
+
+    def replicate():
+        return run_parallel(
+            lambda c: len(ring_replicate(c, block, 2, timeout=30)),
+            4,
+            timeout=60,
+        )
+
+    counts = benchmark(replicate)
+    assert counts == [2, 2, 2, 2]
+
+    report = PaperComparison(
+        "Ablation (ring, functional)",
+        "in-process ring replication of 256 KiB blocks, 4 ranks × 2 hops",
+        columns=["metric", "value"],
+    )
+    report.add_row("blocks moved per rank", 2)
+    report.add_row("mean wall time", f"{benchmark.stats.stats.mean * 1e3:.2f} ms")
+    emit_report(report)

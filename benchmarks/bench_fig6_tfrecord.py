@@ -1,0 +1,107 @@
+"""Figure 6 — FanStore vs TFRecord read throughput.
+
+The paper measures FanStore reading ImageNet/EM/RS datasets 5–10×
+faster than TFRecord on SKX and POWER9. The mechanism: FanStore serves
+random per-file reads from an indexed in-RAM store, while a TFRecord
+stream must be scanned sequentially (and CRC-verified) to assemble a
+shuffled batch. Both paths run for real on this host.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.tfrecord import TFRecordReader, write_tfrecord
+from repro.bench.report import PaperComparison
+from repro.datasets.synthetic import sample_files
+from repro.training.loader import list_training_files
+
+BATCH = 16
+
+
+@pytest.fixture(scope="module")
+def tfrecord_path(tmp_path_factory):
+    # 96 records ≈ a (scaled-down) shard; the paper's datasets hold
+    # 10^5-10^6 records per namespace, so scan costs dominate harder
+    # there than here.
+    records = sample_files("em", 96, size=24 * 1024, seed=11)
+    path = tmp_path_factory.mktemp("tfr") / "em.tfrecord"
+    offsets = write_tfrecord(path, records)
+    return path, offsets, len(records)
+
+
+def _random_batch_fanstore(store, files, rng):
+    total = 0
+    for idx in rng.integers(0, len(files), BATCH):
+        total += len(store.client.read_file(files[idx]))
+    return total
+
+
+def _random_batch_tfrecord_scan(path, n_records, rng):
+    """Shuffled access without an index: scan from the file start for
+    every record — TFRecord's structural cost for random access."""
+    reader = TFRecordReader(path)
+    total = 0
+    for idx in rng.integers(0, n_records, BATCH):
+        total += len(reader.read_nth_sequential(int(idx)))
+    return total
+
+
+def test_fig6_fanstore_vs_tfrecord(benchmark, em_store_raw, tfrecord_path,
+                                   emit_report):
+    path, _offsets, n_records = tfrecord_path
+    files = list_training_files(em_store_raw.client)
+    rng = np.random.default_rng(0)
+
+    fanstore_result = benchmark.pedantic(
+        _random_batch_fanstore,
+        args=(em_store_raw, files, rng),
+        rounds=8,
+        iterations=1,
+    )
+    assert fanstore_result > 0
+
+    import time
+
+    t0 = time.perf_counter()
+    rounds = 3
+    for _ in range(rounds):
+        _random_batch_tfrecord_scan(path, n_records, rng)
+    tfrecord_s = (time.perf_counter() - t0) / rounds
+
+    reader = TFRecordReader(path)
+    offsets = _offsets
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        for idx in rng.integers(0, n_records, BATCH):
+            reader.read_at(offsets[int(idx)])
+    indexed_s = (time.perf_counter() - t0) / rounds
+
+    fan_s = benchmark.stats.stats.mean
+    fan_fps = BATCH / fan_s
+    tfr_fps = BATCH / tfrecord_s
+    idx_fps = BATCH / indexed_s
+    speedup = fan_fps / tfr_fps
+
+    report = PaperComparison(
+        "Figure 6", "FanStore vs TFRecord shuffled-read throughput (files/s)",
+        columns=["reader", "files/s", "vs scan"],
+    )
+    report.add_row("FanStore (indexed, in-RAM)", round(fan_fps), f"{speedup:.1f}x")
+    report.add_row("TFRecord (sequential scan)", round(tfr_fps), "1.0x")
+    report.add_row(
+        "TFRecord + external offset index", round(idx_fps),
+        f"{idx_fps / tfr_fps:.1f}x",
+    )
+    report.add_note("paper: FanStore 5-10x over TFRecord (ImageNet/EM/RS, "
+                    "SKX and POWER9)")
+    report.add_note(
+        "measured on this host at 96 records/shard; the paper's shards "
+        "hold 10^5-10^6 records, widening the scan gap further"
+    )
+    emit_report(report)
+
+    # The shape criterion: FanStore must beat scan-based TFRecord by a
+    # clear factor (the paper's 5-10x band at production record counts).
+    assert speedup > 3.0

@@ -1,0 +1,83 @@
+"""Figure 7 — the 180-configuration ratio/decompression-cost tradeoff.
+
+Runs the real suite (all 180 configurations) over sampled EM (tif) and
+Tokamak (npz) files, exactly the §VII-D methodology, and reports the
+Pareto front plus the two clusters the paper describes: fast
+decompressors at ratio 1–3 within ~an order of magnitude of memcpy, and
+high-ratio compressors (3–4+) two to three orders of magnitude slower.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import PaperComparison
+from repro.compressors.lzbench import pareto_front, run_suite
+from repro.datasets.synthetic import sample_files
+
+#: enough bytes to be meaningful, small enough for pure-Python codecs.
+SAMPLE_SIZE = 16 * 1024
+SAMPLES_PER_DATASET = 3
+
+
+@pytest.fixture(scope="module", params=["em", "tokamak"])
+def dataset_samples(request):
+    size = SAMPLE_SIZE if request.param == "em" else 1200
+    return request.param, sample_files(
+        request.param, SAMPLES_PER_DATASET, size=size, seed=21
+    )
+
+
+def test_fig7_tradeoff_space(benchmark, dataset_samples, emit_report):
+    name, samples = dataset_samples
+
+    results = benchmark.pedantic(
+        lambda: run_suite(samples, verify=True), rounds=1, iterations=1
+    )
+    assert len(results) == 180
+
+    by_name = {r.compressor: r for r in results}
+    memcpy_cost = by_name["memcpy"].decompress_cost_per_file
+    front = pareto_front(results)
+
+    report = PaperComparison(
+        f"Figure 7 ({name})",
+        "ratio vs decompression cost: Pareto front of 180 configurations",
+        columns=["config", "ratio", "d.cost µs/file", "× memcpy"],
+    )
+    for r in front[:12]:
+        report.add_row(
+            r.compressor,
+            round(r.ratio, 2),
+            round(r.decompress_cost_per_file * 1e6, 1),
+            round(r.decompress_cost_per_file / memcpy_cost, 1),
+        )
+    best_ratio = max(results, key=lambda r: r.ratio)
+    fastest = min(results, key=lambda r: r.decompress_cost_per_file)
+    report.add_note(
+        f"fastest: {fastest.compressor} at ratio {fastest.ratio:.2f}; "
+        f"highest ratio: {best_ratio.compressor} at {best_ratio.ratio:.2f}"
+    )
+    report.add_note(
+        "paper: fast cluster at ratio 1-3 within ~10x of memcpy; "
+        "high-ratio cluster 100-1000x slower (native codecs — our "
+        "pure-Python members shift absolute costs, not the shape)"
+    )
+    emit_report(report)
+
+    # Shape assertions. (1) the front is non-trivial (tiny tokamak
+    # files leave little room between memcpy and the best ratio, so the
+    # front can legitimately collapse to two points there):
+    assert len(front) >= (3 if name == "em" else 2)
+    # (2) somebody compresses this dataset meaningfully:
+    assert best_ratio.ratio > 1.5
+    # (3) the highest-ratio configuration decompresses slower than the
+    # fastest one — the tradeoff exists:
+    assert (
+        best_ratio.decompress_cost_per_file
+        > fastest.decompress_cost_per_file
+    )
+    # (4) a C-backed fast decompressor sits within ~2 orders of
+    # magnitude of memcpy even in Python:
+    zlib1 = by_name["zlib-1"]
+    assert zlib1.decompress_cost_per_file < 150 * max(memcpy_cost, 1e-7)

@@ -1,0 +1,98 @@
+"""Future work (§VIII) — lossy compression in the CODAR style.
+
+The paper closes by proposing SZ/ZFP-family lossy compression as the
+next capacity lever. This bench runs that study on the scientific
+datasets: compression ratio vs error bound for the SZ-like codec and
+ratio vs rate for the ZFP-like codec, against the lossless ceiling.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.bench.report import PaperComparison
+from repro.compressors.lossy import SzLikeCodec, ZfpLikeCodec, max_abs_error, psnr
+from repro.compressors.registry import get_compressor
+from repro.datasets.synthetic import sample_files
+
+BOUNDS = (1e-4, 1e-2, 1.0)
+
+
+def _tokamak_signals(n_files: int = 8) -> np.ndarray:
+    blobs = sample_files("tokamak", n_files, seed=31)
+    arrays = [np.load(io.BytesIO(b))["signals"].astype(np.float64)
+              for b in blobs]
+    return np.concatenate([a.reshape(-1) for a in arrays])
+
+
+def _astro_image(size: int = 96 * 1024) -> np.ndarray:
+    blob = sample_files("astro", 1, size=size, seed=32)[0]
+    return np.frombuffer(blob[2880:], dtype=">f4").astype(np.float64)
+
+
+@pytest.fixture(scope="module", params=["tokamak", "astro"])
+def science_array(request):
+    if request.param == "tokamak":
+        return request.param, _tokamak_signals()
+    return request.param, _astro_image()
+
+
+def test_lossy_ratio_vs_bound(benchmark, science_array, emit_report):
+    name, data = science_array
+    peak = float(np.max(np.abs(data))) or 1.0
+    lossless = get_compressor("zlib-6")
+    lossless_ratio = data.nbytes / len(lossless.compress(data.tobytes()))
+
+    def sweep():
+        rows = []
+        for rel_bound in BOUNDS:
+            codec = SzLikeCodec(rel_bound * peak)
+            blob = codec.compress(data)
+            out = codec.decompress(blob)
+            rows.append(
+                (
+                    f"szlike rel={rel_bound:g}",
+                    data.nbytes / len(blob),
+                    max_abs_error(data, out) / peak,
+                    psnr(data, out),
+                )
+            )
+        zfp = ZfpLikeCodec(12)
+        blob = zfp.compress(data)
+        out = zfp.decompress(blob)
+        rows.append(
+            ("zfplike 12bpv", data.nbytes / len(blob),
+             max_abs_error(data, out) / peak, psnr(data, out))
+        )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    report = PaperComparison(
+        f"Future work: lossy ({name})",
+        "SZ/ZFP-style compression of scientific floats (§VIII / CODAR)",
+        columns=["codec", "ratio", "rel L∞ err", "PSNR dB"],
+    )
+    report.add_row("zlib-6 (lossless ceiling)", round(lossless_ratio, 2),
+                   0.0, "inf")
+    for label, ratio, err, p in rows:
+        report.add_row(label, round(ratio, 2), f"{err:.1e}",
+                       "inf" if p == float("inf") else round(p, 1))
+    report.add_note("every szlike row's error is certified ≤ its bound; "
+                    "ratios beyond the lossless ceiling are the §VIII "
+                    "opportunity")
+    emit_report(report)
+
+    sz_rows = rows[:-1]
+    ratios = [r[1] for r in sz_rows]
+    errors = [r[2] for r in sz_rows]
+    # ratio grows monotonically with the bound...
+    assert ratios == sorted(ratios)
+    # ...errors honor their bounds...
+    for (_, _, err, _), bound in zip(sz_rows, BOUNDS):
+        assert err <= bound * (1 + 1e-9)
+    # ...and a loose bound beats the lossless ceiling.
+    assert ratios[-1] > lossless_ratio

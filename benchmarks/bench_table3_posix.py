@@ -1,0 +1,126 @@
+"""Table III — POSIX-compliant solution read performance (files/sec).
+
+Two reproductions side by side:
+
+1. **Modeled**: the calibrated device models evaluated at the paper's
+   four file sizes for all four solutions (FanStore, SSD-fuse, SSD,
+   Lustre) — this regenerates the table.
+2. **Measured**: the real user-space interposition cost on this host —
+   FanStore client reads vs kernel-path reads of the same files vs the
+   FUSE-like chunked client — demonstrating the ordering mechanism.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.fuse import FuseLikeClient
+from repro.bench.report import PaperComparison, ordering_preserved
+from repro.simnet.devices import (
+    TABLE3_SIZES,
+    fanstore_local,
+    fuse_over_ssd,
+    lustre,
+    ssd,
+)
+from repro.training.loader import list_training_files
+from repro.util.units import KIB
+
+PAPER_TABLE3 = {
+    128 * KIB: (28_248, 6_687, 39_480, 1_515),
+    512 * KIB: (9_689, 2_416, 9_752, 149),
+    2048 * KIB: (2_513, 738, 2_786, 385),
+    8192 * KIB: (560, 197, 678, 139),
+}
+
+_SIZE_LABEL = {
+    128 * KIB: "128 KB",
+    512 * KIB: "512 KB",
+    2048 * KIB: "2 MB",
+    8192 * KIB: "8 MB",
+}
+
+
+def _modeled_rows():
+    models = (fanstore_local(), fuse_over_ssd(), ssd(), lustre())
+    rows = {}
+    for size in TABLE3_SIZES:
+        rows[size] = tuple(
+            round(m.read_files_per_second(size)) for m in models
+        )
+    return rows
+
+
+def test_table3_modeled(benchmark, emit_report):
+    rows = benchmark(_modeled_rows)
+    report = PaperComparison(
+        "Table III",
+        "POSIX solution read throughput, files/s (modeled vs paper)",
+        columns=[
+            "size", "fanstore", "(paper)", "ssd-fuse", "(paper)",
+            "ssd", "(paper)", "lustre", "(paper)",
+        ],
+    )
+    for size in TABLE3_SIZES:
+        fs, fu, sd, lu = rows[size]
+        pfs, pfu, psd, plu = PAPER_TABLE3[size]
+        report.add_row(_SIZE_LABEL[size], fs, pfs, fu, pfu, sd, psd, lu, plu)
+    report.add_note(
+        "paper's 512 KB Lustre cell (149 f/s) is non-monotone vs its "
+        "2 MB cell (385 f/s); the affine model cannot land both"
+    )
+    emit_report(report)
+
+    for size in TABLE3_SIZES:
+        fs, fu, sd, lu = rows[size]
+        # the orderings §VII-C highlights
+        assert lu < fu < fs <= sd
+        # FanStore at 71-99 % of raw SSD (we allow a slightly wider band)
+        assert 0.6 <= fs / sd <= 1.0
+        # 2.9-4.4x over FUSE
+        assert 2.0 <= fs / fu <= 6.0
+
+
+def test_table3_measured_interposition(benchmark, em_store_raw, emit_report,
+                                       em_dataset_dir):
+    """Real ordering on this host: FanStore user-space path vs the
+    kernel path vs the FUSE-style chunked path, same bytes."""
+    files = list_training_files(em_store_raw.client)
+    kernel_paths = sorted(p for p in em_dataset_dir.rglob("*") if p.is_file())
+    fuse_client = FuseLikeClient(em_store_raw.client)
+
+    def fanstore_read():
+        return sum(len(em_store_raw.client.read_file(f)) for f in files)
+
+    total = benchmark(fanstore_read)
+    assert total > 0
+    fan_s = benchmark.stats.stats.mean
+
+    import time
+
+    t0 = time.perf_counter()
+    for _ in range(5):
+        for p in kernel_paths:
+            p.read_bytes()
+    kernel_s = (time.perf_counter() - t0) / 5
+
+    t0 = time.perf_counter()
+    for _ in range(3):
+        for f in files:
+            fuse_client.read_file(f)
+    fuse_s = (time.perf_counter() - t0) / 3
+
+    n = len(files)
+    report = PaperComparison(
+        "Table III (measured)",
+        "interposition cost on this host (files/s over the same bytes)",
+        columns=["path", "files/s"],
+    )
+    report.add_row("FanStore client (user space)", round(n / fan_s))
+    report.add_row("kernel file system (page cache)", round(n / kernel_s))
+    report.add_row("FUSE-style chunked client", round(n / fuse_s))
+    report.add_note("orderings, not absolutes, are the reproduction target")
+    emit_report(report)
+
+    # FUSE-style chunking must cost more than the direct client path.
+    assert fuse_s > fan_s

@@ -1,0 +1,95 @@
+"""Table VI — FanStore (Tpt_read, Bdw_read) per file size and cluster.
+
+Modeled: the calibrated per-cluster storage models at the paper's file
+sizes, with 4 parallel streams (the paper measures on four nodes).
+Measured: the live client's throughput/bandwidth on this host, showing
+the same throughput-bound-to-bandwidth-bound transition across sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import PaperComparison
+from repro.cluster.machines import cpu, gtx, v100
+from repro.selection.profiling import measure_client_read, model_read_performance
+from repro.simnet.devices import fanstore_local
+from repro.training.loader import list_training_files
+from repro.util.units import KIB, MB
+
+PAPER_TABLE6 = [
+    # cluster, size label, size, Tpt_read (f/s), Bdw_read (MB/s)
+    ("GTX", "512 KB", 512 * KIB, 9_469, 4_969),
+    ("GTX", "2 MB", 2_048 * KIB, 3_158, 6_663),
+    ("V100", "512 KB", 512 * KIB, 8_654, 4_540),
+    ("V100", "2 MB", 2_048 * KIB, 5_026, 10_546),
+    ("CPU", "1 KB", 1_024, 29_103, 30),
+]
+
+_MACHINES = {"GTX": gtx, "V100": v100, "CPU": cpu}
+
+
+def _modeled_table6():
+    # The paper's Table VI satisfies Bdw = Tpt × size exactly — i.e. it
+    # reports the single-stream FanStore rate per cluster ("the FanStore
+    # benchmark only uses one process per node", §VII-E discussion).
+    rows = []
+    for cluster, label, size, paper_tpt, paper_bdw in PAPER_TABLE6:
+        machine = _MACHINES[cluster]()
+        perf = model_read_performance(
+            fanstore_local(machine.node.storage), size, streams=1
+        )
+        rows.append(
+            (cluster, label, perf.tpt_read, paper_tpt,
+             perf.bdw_read / MB, paper_bdw)
+        )
+    return rows
+
+
+def test_table6_modeled(benchmark, emit_report):
+    rows = benchmark(_modeled_table6)
+    report = PaperComparison(
+        "Table VI",
+        "FanStore read performance, 4 nodes (modeled vs paper)",
+        columns=["cluster", "size", "Tpt f/s", "(paper)", "Bdw MB/s",
+                 "(paper)"],
+    )
+    for cluster, label, tpt, ptpt, bdw, pbdw in rows:
+        report.add_row(cluster, label, round(tpt), ptpt, round(bdw), pbdw)
+    report.add_note(
+        "CPU cluster's 1 KB row is throughput-bound (30 MB/s at 29k f/s)"
+        " — the regime Eq. 3's max() exists for"
+    )
+    emit_report(report)
+
+    for cluster, label, tpt, ptpt, bdw, pbdw in rows:
+        if cluster == "CPU":
+            # tiny files: order-of-magnitude agreement is the target
+            assert tpt == pytest.approx(ptpt, rel=2.0)
+        else:
+            assert tpt == pytest.approx(ptpt, rel=0.7)
+
+    # The structural property: larger files shift from throughput-bound
+    # to bandwidth-bound (files/s drops, MB/s rises).
+    gtx_small = rows[0]
+    gtx_big = rows[1]
+    assert gtx_small[2] > gtx_big[2]  # Tpt falls
+    assert gtx_small[4] < gtx_big[4]  # Bdw rises
+
+
+def test_table6_measured_live_client(benchmark, em_store_raw, emit_report):
+    files = list_training_files(em_store_raw.client)
+
+    def read_all():
+        return measure_client_read(em_store_raw.client, files)
+
+    perf = benchmark.pedantic(read_all, rounds=3, iterations=1)
+    report = PaperComparison(
+        "Table VI (measured)",
+        "live FanStore client on this host",
+        columns=["metric", "value"],
+    )
+    report.add_row("Tpt_read (files/s)", round(perf.tpt_read))
+    report.add_row("Bdw_read (MB/s)", round(perf.bdw_read / MB, 1))
+    emit_report(report)
+    assert perf.tpt_read > 1000  # user-space path is not the bottleneck

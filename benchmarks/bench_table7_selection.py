@@ -1,0 +1,76 @@
+"""Table VII — the compressor-selection outcomes for the three cases.
+
+Regenerates every (compressor, decompression cost, ratio) row the paper
+tabulates, runs Equations 1–3, and asserts the paper's selections:
+lzsse8 on SRGAN/GTX, brotli on FRNN/CPU, and the lz4hc fallback on
+SRGAN/V100.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import PaperComparison
+from repro.selection.cases import frnn_cpu, srgan_gtx, srgan_v100
+from repro.selection.model import CompressorSelector
+from repro.util.units import format_seconds
+
+PAPER_SELECTIONS = {
+    "srgan-gtx": "lzsse8",
+    "frnn-cpu": "brotli",
+    "srgan-v100": "lz4hc",
+}
+
+
+@pytest.fixture(
+    scope="module", params=["srgan-gtx", "frnn-cpu", "srgan-v100"]
+)
+def case(request):
+    return {
+        "srgan-gtx": srgan_gtx,
+        "frnn-cpu": frnn_cpu,
+        "srgan-v100": srgan_v100,
+    }[request.param]()
+
+
+def test_table7_selection(benchmark, case, emit_report):
+    selector = CompressorSelector(case.inputs)
+    candidates = case.candidates()
+
+    result = benchmark(lambda: selector.select(candidates))
+
+    report = PaperComparison(
+        f"Table VII ({case.name})",
+        f"{case.app} on {case.cluster}, {case.inputs.io_mode} I/O",
+        columns=["compressor", "d.cost", "ratio", "budget", "verdict"],
+    )
+    for v in result.verdicts:
+        report.add_row(
+            v.candidate.name,
+            format_seconds(v.candidate.decompress_cost),
+            round(v.candidate.ratio, 1),
+            format_seconds(max(v.budget_per_file, 0.0)),
+            "accept" if v.accepted else "reject",
+        )
+    pick = result.choice.name if result.choice else "(none)"
+    kind = "strict" if result.selected else "fallback"
+    report.add_note(f"{kind} selection: {pick}; paper: "
+                    f"{PAPER_SELECTIONS[case.name]}")
+    emit_report(report)
+
+    assert result.choice is not None
+    assert result.choice.name == PAPER_SELECTIONS[case.name]
+
+    if case.name == "srgan-gtx":
+        # §VII-E1's intermediate value
+        assert selector.read_time_uncompressed() == pytest.approx(
+            81_063e-6, rel=0.01
+        )
+        assert result.selected is not None  # strict win
+    if case.name == "frnn-cpu":
+        assert all(v.meets_performance for v in result.verdicts)
+    if case.name == "srgan-v100":
+        assert result.selected is None  # nothing meets the 125 µs budget
+        assert selector.budget_per_file(2.1) == pytest.approx(
+            125e-6, rel=0.06
+        )

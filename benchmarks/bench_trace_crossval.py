@@ -1,0 +1,68 @@
+"""Cross-validation — measured trace vs modeled devices.
+
+Records a real training epoch's I/O through the live FanStore client
+(every open/read/close/stat with wall-clock durations), then replays
+the *identical* workload through the four calibrated device models.
+This closes the loop between the repo's measured and modeled halves:
+the replay on the FanStore model should land within a small factor of
+the actual measured time, and the device ordering must match Table III.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import PaperComparison
+from repro.simnet.devices import fanstore_local, fuse_over_ssd, lustre, ssd
+from repro.simnet.trace import TraceRecorder, replay
+from repro.training.loader import SyncLoader, list_training_files
+
+
+def test_trace_crossvalidation(benchmark, em_store_raw, emit_report):
+    recorder = TraceRecorder(em_store_raw.client)
+    files = list_training_files(em_store_raw.client)
+
+    def epoch():
+        # the §II-B pattern: metadata scan then batched reads
+        recorder.listdir("")
+        for f in files:
+            recorder.stat(f)
+        loader = SyncLoader(recorder, files, batch_size=6, epochs=1)
+        return sum(b.bytes_read for b in loader)
+
+    total = benchmark.pedantic(epoch, rounds=1, iterations=1)
+    assert total > 0
+    trace = recorder.trace
+    measured = trace.measured_seconds()
+
+    models = {
+        "fanstore (modeled)": fanstore_local(),
+        "raw SSD (modeled)": ssd(),
+        "FUSE over SSD (modeled)": fuse_over_ssd(),
+        "Lustre (modeled)": lustre(),
+    }
+    replayed = {name: replay(trace, m) for name, m in models.items()}
+
+    report = PaperComparison(
+        "Trace cross-validation",
+        "one real epoch's I/O trace replayed on the device models",
+        columns=["device", "epoch I/O seconds", "vs measured"],
+    )
+    report.add_row("measured (this host)", f"{measured:.4f}", "1.0x")
+    for name, t in replayed.items():
+        report.add_row(name, f"{t:.4f}", f"{t / measured:.2f}x")
+    report.add_note(
+        f"trace: {len(trace)} events, "
+        f"{trace.total_bytes('read')} bytes read"
+    )
+    emit_report(report)
+
+    # Ordering must match Table III.
+    assert replayed["raw SSD (modeled)"] <= replayed["FUSE over SSD (modeled)"]
+    assert (
+        replayed["FUSE over SSD (modeled)"] < replayed["Lustre (modeled)"]
+    )
+    # The FanStore model should be within an order of magnitude of the
+    # real measured path (different hardware; shape, not absolutes).
+    ratio = replayed["fanstore (modeled)"] / measured
+    assert 0.05 < ratio < 20.0

@@ -1,0 +1,73 @@
+"""Shared benchmark fixtures and paper-vs-measured reporting.
+
+Every benchmark prints a :class:`~repro.bench.report.PaperComparison`
+next to pytest-benchmark's timing table and appends it to
+``benchmarks/_results/<experiment>.txt`` so EXPERIMENTS.md can be
+assembled from the recorded outputs.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench.report import PaperComparison
+from repro.datasets.synthetic import generate_dataset
+from repro.fanstore.prepare import prepare_dataset
+from repro.fanstore.store import FanStore
+
+RESULTS_DIR = Path(__file__).parent / "_results"
+
+
+@pytest.fixture(scope="session")
+def emit_report():
+    """Print a comparison (past pytest's capture) and persist it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(comparison: PaperComparison) -> None:
+        text = comparison.render()
+        sys.stderr.write("\n" + text + "\n")
+        slug = re.sub(r"[^a-z0-9]+", "_", comparison.experiment.lower()).strip("_")
+        path = RESULTS_DIR / f"{slug}.txt"
+        path.write_text(text + "\n")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def em_dataset_dir(tmp_path_factory):
+    """A reduced EM dataset: 24 files × ~48 KiB (small enough for the
+    pure-Python codecs, large enough to be bandwidth-meaningful)."""
+    root = tmp_path_factory.mktemp("em-raw")
+    generate_dataset("em", root, num_files=24, avg_file_size=48 * 1024,
+                     num_dirs=3, seed=11)
+    return root
+
+
+@pytest.fixture(scope="session")
+def em_store(em_dataset_dir, tmp_path_factory):
+    """A single-node FanStore over the EM dataset, zlib-1-packed."""
+    packed = tmp_path_factory.mktemp("em-packed")
+    prepared = prepare_dataset(
+        em_dataset_dir, packed, num_partitions=2, compressor="zlib-1",
+        threads=2,
+    )
+    with FanStore(prepared) as fs:
+        yield fs
+
+
+@pytest.fixture(scope="session")
+def em_store_raw(em_dataset_dir, tmp_path_factory):
+    """Compression-free FanStore (§VII-C's configuration for Figure 6 /
+    Table III): files stored verbatim, open() is one hash lookup and a
+    copy."""
+    packed = tmp_path_factory.mktemp("em-packed-raw")
+    prepared = prepare_dataset(
+        em_dataset_dir, packed, num_partitions=2, compressor="memcpy",
+        threads=2,
+    )
+    with FanStore(prepared) as fs:
+        yield fs

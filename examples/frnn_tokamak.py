@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""FRNN-style disruption prediction with async I/O (the §VII-E2 case).
+
+The tokamak dataset is the paper's pathological one: ~580k files of
+~1.2 KB, where metadata cost dominates and the file-system block size
+wastes most of the storage. This example reproduces both observations
+at reduced scale:
+
+- asynchronous (prefetching) I/O accepts even slow compressors
+  (Equation 2), so the highest-ratio one wins;
+- concatenating tiny files into FanStore partitions recovers the
+  block-size waste (the paper's 6.5x effective vs 2.6x per-file ratio).
+
+An LSTM trains on the signals for real, fed by the AsyncLoader.
+
+Run: ``python examples/frnn_tokamak.py``
+"""
+
+from __future__ import annotations
+
+import io
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets import generate_dataset
+from repro.fanstore import FanStore, prepare_dataset
+from repro.selection import CompressorSelector
+from repro.selection.cases import frnn_cpu
+from repro.training import (
+    AsyncLoader,
+    DataParallelTrainer,
+    LSTMClassifier,
+    list_training_files,
+)
+
+TIMESTEPS = 12
+CHANNELS = 3
+BLOCK = 4096  # file-system block size the paper's observation hinges on
+
+
+def decode_npz(raw: bytes, path: str):
+    arrs = np.load(io.BytesIO(raw))
+    signals = arrs["signals"].astype(np.float64) / 1000.0  # (3, T)
+    window = signals[:, :TIMESTEPS].T  # (T, 3)
+    if window.shape[0] < TIMESTEPS:
+        window = np.pad(window, ((0, TIMESTEPS - window.shape[0]), (0, 0)))
+    label = int(signals.sum() > 0)  # synthetic "disruption" rule
+    return window, label
+
+
+def collate(batch):
+    xs = np.stack([s[0] for s in batch.samples])
+    ys = np.asarray([s[1] for s in batch.samples])
+    return xs, ys
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="frnn-tokamak-"))
+
+    print("== selection: async I/O hides decompression (Equation 2) ==")
+    case = frnn_cpu()
+    selector = CompressorSelector(case.inputs)
+    result = selector.select(case.candidates())
+    print(f"   budget/file: "
+          f"{selector.budget_per_file(2.6) * 1e6:.0f} µs; every candidate "
+          f"qualifies -> highest ratio wins: {result.selected.name}")
+
+    print("\n== the tiny-file storage effect (§VII-E2) ==")
+    raw = workdir / "raw"
+    generate_dataset("tokamak", raw, num_files=48, avg_file_size=1_200,
+                     num_dirs=1, seed=5)
+    files = [p for p in raw.rglob("*.npz")]
+    logical = sum(p.stat().st_size for p in files)
+    on_disk = sum(-(-p.stat().st_size // BLOCK) * BLOCK for p in files)
+    prepared = prepare_dataset(raw, workdir / "packed", num_partitions=2,
+                               compressor="zlib-6", threads=2)
+    packed_blocks = -(-prepared.compressed_bytes // BLOCK) * BLOCK
+    print(f"   {len(files)} files, logical {logical} B but "
+          f"{on_disk} B in {BLOCK}-byte blocks ({on_disk / logical:.1f}x waste)")
+    print(f"   per-file compression: {prepared.ratio:.1f}x; "
+          f"effective vs block-allocated: {on_disk / packed_blocks:.1f}x "
+          f"(the paper's 2.6x -> 6.5x effect)")
+
+    print("\n== train the LSTM through the AsyncLoader (Figure 5b) ==")
+    with FanStore(prepared) as fs:
+        all_files = list_training_files(fs.client)
+        loader = AsyncLoader(
+            fs.client, all_files, batch_size=8, epochs=8, seed=2,
+            decoder=decode_npz, depth=2,
+        )
+        trainer = DataParallelTrainer(
+            LSTMClassifier(CHANNELS, 12, 2, seed=3),
+            loader,
+            collate,
+            lr=0.1,
+            log_client=fs.client,
+        )
+        report = trainer.train()
+        print(f"   {report.iterations} iterations, loss "
+              f"{report.losses[0]:.3f} -> {report.losses[-1]:.3f}")
+        print(f"   training log written through FanStore: "
+              f"{trainer.log_path} "
+              f"({len(fs.client.read_file(trainer.log_path))} bytes)")
+    print("\ndone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""End-to-end compressor selection for *your* dataset (§VI in anger).
+
+This is the workflow a FanStore user runs before packaging a new
+dataset: sample some files, measure every suite configuration's ratio
+and decompression throughput on this machine (lzbench-style, §VII-D),
+measure the I/O path, then run Equations 1-3 and get a recommendation
+for both sync and async training loops.
+
+Run: ``python examples/selection_wizard.py [dataset-dir]``
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.compressors import run_suite
+from repro.datasets import generate_dataset
+from repro.fanstore import FanStore, prepare_dataset
+from repro.selection import (
+    CompressorCandidate,
+    CompressorSelector,
+    IoPerformance,
+    SelectionInputs,
+    measure_client_read,
+)
+from repro.training import list_training_files
+from repro.util import MB, format_seconds
+
+#: suite members worth considering as packaging codecs on this host
+#: (C-backed; the pure-Python members exist for format coverage).
+SHORTLIST = ["zlib-1", "zlib-6", "zlib-9", "bz2-1", "bz2-9",
+             "lzma-0", "lzma-6", "delta+zlib-6", "bitshuffle+zlib-6"]
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        data_dir = Path(sys.argv[1])
+        print(f"== using your dataset: {data_dir} ==")
+    else:
+        data_dir = Path(tempfile.mkdtemp(prefix="wizard-data-")) / "astro"
+        generate_dataset("astro", data_dir, num_files=8,
+                         avg_file_size=48_000, seed=9)
+        print(f"== no dataset given; generated a synthetic FITS set at "
+              f"{data_dir} ==")
+
+    samples = [
+        p.read_bytes()
+        for p in sorted(data_dir.rglob("*"))
+        if p.is_file()
+    ][:6]
+    print(f"   sampled {len(samples)} files, "
+          f"avg {sum(map(len, samples)) // len(samples)} bytes")
+
+    print("\n== 1. lzbench pass over the shortlist (§VII-D) ==")
+    results = run_suite(samples, names=SHORTLIST)
+    print(f"   {'config':<20} {'ratio':>6} {'d.µs/file':>10}")
+    for r in sorted(results, key=lambda r: -r.ratio):
+        print(f"   {r.compressor:<20} {r.ratio:>6.2f} "
+              f"{r.decompress_cost_per_file * 1e6:>10.1f}")
+
+    print("\n== 2. measure the FanStore I/O path on this host ==")
+    workdir = Path(tempfile.mkdtemp(prefix="wizard-packed-"))
+    prepared = prepare_dataset(data_dir, workdir, compressor="memcpy",
+                               threads=2)
+    with FanStore(prepared) as fs:
+        files = list_training_files(fs.client)
+        perf = measure_client_read(fs.client, files, repetitions=3)
+    print(f"   Tpt_read = {perf.tpt_read:,.0f} files/s, "
+          f"Bdw_read = {perf.bdw_read / MB:,.0f} MB/s")
+
+    print("\n== 3. Equations 1-3 for a hypothetical training job ==")
+    c_batch = 64
+    avg = sum(map(len, samples)) / len(samples)
+    candidates = [
+        CompressorCandidate(
+            r.compressor,
+            ratio=max(r.ratio, 1.0),
+            decompress_cost=r.decompress_cost_per_file,
+        )
+        for r in results
+    ]
+    for io_mode, t_iter in (("sync", 0.0), ("async", 0.25)):
+        inputs = SelectionInputs(
+            io_mode=io_mode,
+            c_batch=c_batch,
+            s_batch_uncompressed=c_batch * avg,
+            perf_uncompressed=perf,
+            perf_compressed=perf,
+            t_iter=t_iter if io_mode == "async" else 1.0,
+            parallelism=2,
+        )
+        selector = CompressorSelector(inputs)
+        result = selector.select(candidates)
+        pick = result.choice
+        verdict = "strict" if result.selected else "fallback"
+        if pick is None:
+            print(f"   {io_mode:>5}: no compressor preserves performance "
+                  f"— package raw")
+            continue
+        budget = selector.budget_per_file(pick.ratio)
+        print(f"   {io_mode:>5}: {pick.name} ({verdict}) — ratio "
+              f"{pick.ratio:.2f}, cost "
+              f"{format_seconds(pick.decompress_cost)} vs budget "
+              f"{format_seconds(max(budget, 0))}")
+
+    print("\nPackage with: fanstore-prepare "
+          f"{data_dir} OUT -p <nodes> -c <choice>")
+
+
+if __name__ == "__main__":
+    main()

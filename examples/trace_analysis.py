@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Characterize a training epoch's I/O, then replay it everywhere.
+
+The Darshan-style workflow the paper's I/O analysis rests on (§II-B):
+record every open/read/stat a real training epoch makes against a live
+FanStore, summarize the op mix, persist the trace, and replay the
+identical workload against the calibrated device models — "what would
+this epoch have cost on raw SSD, on FUSE, on Lustre?".
+
+Run: ``python examples/trace_analysis.py``
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.datasets import generate_dataset
+from repro.fanstore import FanStore, prepare_dataset
+from repro.simnet import (
+    IoTrace,
+    TraceRecorder,
+    fanstore_local,
+    fuse_over_ssd,
+    lustre,
+    replay,
+    ssd,
+)
+from repro.training import SyncLoader, list_training_files
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="trace-analysis-"))
+    raw = workdir / "raw"
+    generate_dataset("imagenet", raw, num_files=20, avg_file_size=12_288,
+                     num_dirs=4, seed=13)
+    prepared = prepare_dataset(raw, workdir / "packed", num_partitions=2,
+                               compressor="auto", threads=2)
+
+    print("== record one epoch through the live store ==")
+    with FanStore(prepared) as fs:
+        recorder = TraceRecorder(fs.client)
+        # the §II-B startup pattern: enumerate + stat everything …
+        for d in recorder.listdir(""):
+            for name in recorder.listdir(d):
+                recorder.stat(f"{d}/{name}")
+        # … then batched epoch reads
+        files = list_training_files(fs.client)
+        loader = SyncLoader(recorder, files, batch_size=5, epochs=1)
+        read_bytes = sum(b.bytes_read for b in loader)
+    print(recorder.trace.summary())
+    print(f"   epoch payload: {read_bytes} bytes")
+
+    trace_file = workdir / "epoch.jsonl"
+    recorder.trace.save(trace_file)
+    reloaded = IoTrace.load(trace_file)
+    print(f"\n== trace persisted to {trace_file.name} "
+          f"({len(reloaded)} events) ==")
+
+    print("\n== replay the identical workload on the device models ==")
+    measured = recorder.trace.measured_seconds()
+    print(f"   {'device':<22} {'epoch I/O':>12} {'vs measured':>12}")
+    print(f"   {'measured (this host)':<22} {measured * 1e3:>9.2f} ms "
+          f"{'1.0x':>12}")
+    for model in (fanstore_local(), ssd(), fuse_over_ssd(), lustre()):
+        t = replay(reloaded, model)
+        print(f"   {model.name:<22} {t * 1e3:>9.2f} ms "
+              f"{t / measured:>11.1f}x")
+
+    print("\nthe replay is how this repo cross-validates its measured "
+          "and modeled halves\n(see benchmarks/bench_trace_crossval.py).")
+
+
+if __name__ == "__main__":
+    main()

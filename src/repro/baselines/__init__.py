@@ -1,0 +1,30 @@
+"""Comparison systems the paper evaluates FanStore against:
+TFRecord-style record packing (Fig. 6), a Lustre-like shared file
+system (Table III, Fig. 9), FUSE-over-SSD (Table III), and the §III
+chunk-permute workaround."""
+
+from repro.baselines.chunked import ChunkedStats, ChunkedStore
+from repro.baselines.fuse import (
+    FuseCostBreakdown,
+    FuseLikeClient,
+    read_cost_breakdown,
+)
+from repro.baselines.sharedfs import SharedFileSystem, default_lustre
+from repro.baselines.tfrecord import (
+    TFRecordReader,
+    TFRecordWriter,
+    write_tfrecord,
+)
+
+__all__ = [
+    "TFRecordReader",
+    "TFRecordWriter",
+    "write_tfrecord",
+    "SharedFileSystem",
+    "default_lustre",
+    "FuseCostBreakdown",
+    "FuseLikeClient",
+    "read_cost_breakdown",
+    "ChunkedStore",
+    "ChunkedStats",
+]

@@ -1,0 +1,97 @@
+"""The chunk-partition-and-permute baseline (§III's "technical
+workaround").
+
+Instead of a global namespace, each node sees only its local chunk of
+the dataset and samples batches from it; every few epochs the chunks
+are permuted around the ring so the global view is only *eventually*
+maintained. The paper declines this design because the time-divided
+variance has unclear convergence effects and the permutation adds
+overhead — this implementation exists to quantify both claims in the
+ablation benchmark (local-sampling skew vs FanStore's global view, and
+the permutation traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.communicator import Communicator
+from repro.errors import ReproError
+
+_PERMUTE_TAG = 0x0C41
+
+
+@dataclass
+class ChunkedStats:
+    permutations: int = 0
+    permuted_bytes: int = 0
+
+
+class ChunkedStore:
+    """Per-node chunk of (path, bytes) pairs with ring permutation."""
+
+    def __init__(
+        self,
+        comm: Communicator,
+        chunk: dict[str, bytes],
+        *,
+        permute_every: int = 4,
+    ) -> None:
+        if permute_every < 1:
+            raise ReproError("permute_every must be >= 1")
+        self.comm = comm
+        self.chunk = dict(chunk)
+        self.permute_every = permute_every
+        self.stats = ChunkedStats()
+        self._epochs_since_permute = 0
+
+    # -- sampling ----------------------------------------------------------
+
+    def local_paths(self) -> list[str]:
+        return sorted(self.chunk)
+
+    def sample_batch(self, size: int, *, seed: int = 0) -> list[tuple[str, bytes]]:
+        """A batch drawn only from the local chunk — the partial view
+        whose variance §III warns about."""
+        paths = self.local_paths()
+        if not paths:
+            raise ReproError("chunk is empty")
+        rng = np.random.default_rng(seed)
+        picks = rng.integers(0, len(paths), size=size)
+        return [(paths[i], self.chunk[paths[i]]) for i in picks]
+
+    # -- the permutation -----------------------------------------------------
+
+    def end_epoch(self) -> bool:
+        """Advance the epoch counter; permutes chunks around the ring
+        when ``permute_every`` epochs have elapsed. Returns True when a
+        permutation happened (a collective — all ranks must call this
+        the same number of times)."""
+        self._epochs_since_permute += 1
+        if self._epochs_since_permute < self.permute_every:
+            return False
+        self._epochs_since_permute = 0
+        self.permute()
+        return True
+
+    def permute(self) -> None:
+        """Ship the whole chunk to the right neighbor (one ring shift)."""
+        right = (self.comm.rank + 1) % self.comm.size
+        left = (self.comm.rank - 1) % self.comm.size
+        payload = list(self.chunk.items())
+        self.comm.send(payload, right, _PERMUTE_TAG)
+        incoming = self.comm.recv(left, _PERMUTE_TAG)
+        self.chunk = dict(incoming)
+        self.stats.permutations += 1
+        self.stats.permuted_bytes += sum(len(v) for _, v in payload)
+
+    # -- analysis helpers -------------------------------------------------------
+
+    def coverage_after(self, epochs: int) -> float:
+        """Fraction of the global dataset this node has had access to
+        after ``epochs`` epochs (global view is reached only after
+        ``size × permute_every`` epochs)."""
+        shifts = epochs // self.permute_every
+        return min((1 + shifts) / self.comm.size, 1.0)

@@ -1,0 +1,79 @@
+"""The shared-parallel-file-system baseline (Lustre in the paper).
+
+Analytic aggregate models of the two services a Lustre deployment
+serializes on under DL workloads:
+
+- the **metadata server** (MDS): a single service point through which
+  every ``stat``/``readdir``/``open`` passes — §II-B1's startup storm
+  and the cause of the paper's 512-node non-start;
+- the **object storage targets** (OSTs): an aggregate bandwidth pool
+  shared by every concurrent reader.
+
+The DES variant (with explicit queueing) lives in
+:mod:`repro.training.simulate`; these closed-form versions are what the
+Table III and Figure 9 benchmarks sweep, and they agree with the DES in
+the saturated regime (both are validated against each other in the
+integration tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.simnet.devices import StorageModel, lustre
+from repro.util.units import GB
+
+
+@dataclass(frozen=True)
+class SharedFileSystem:
+    """A Lustre-like deployment's aggregate service capacities."""
+
+    client_model: StorageModel  # single-client path (Table III row)
+    mds_ops_per_second: float = 2500.0  # one MDS's service rate
+    aggregate_bandwidth: float = 80 * GB  # total OST streaming rate
+    max_streams: int = 64  # concurrent full-rate client streams
+
+    def __post_init__(self) -> None:
+        if self.mds_ops_per_second <= 0 or self.aggregate_bandwidth <= 0:
+            raise SimulationError("shared FS service rates must be positive")
+
+    # -- startup (metadata) -------------------------------------------------
+
+    def startup_seconds(self, io_processes: int, num_files: int,
+                        num_dirs: int = 1) -> float:
+        """§II-B1: every I/O process enumerates the full dataset —
+        ``procs × (files stats + dirs readdirs)`` through one MDS."""
+        if io_processes < 1 or num_files < 1:
+            raise SimulationError("need >= 1 process and file")
+        total_ops = io_processes * (num_files + num_dirs)
+        return total_ops / self.mds_ops_per_second
+
+    # -- steady-state reads ---------------------------------------------------
+
+    def batch_read_seconds(
+        self, readers: int, files_per_reader: int, file_bytes: int
+    ) -> float:
+        """Time for ``readers`` concurrent clients to each read their
+        batch: per-file MDS open + the slower of the per-client path and
+        the aggregate-bandwidth share."""
+        if readers < 1 or files_per_reader < 1:
+            raise SimulationError("need >= 1 reader and file")
+        opens = readers * files_per_reader / self.mds_ops_per_second
+        per_client = files_per_reader * self.client_model.read_time(file_bytes)
+        total_bytes = readers * files_per_reader * file_bytes
+        aggregate = total_bytes / self.aggregate_bandwidth
+        return opens + max(per_client, aggregate)
+
+    def effective_files_per_second(
+        self, readers: int, files_per_reader: int, file_bytes: int
+    ) -> float:
+        """Aggregate delivered throughput under contention."""
+        t = self.batch_read_seconds(readers, files_per_reader, file_bytes)
+        return readers * files_per_reader / t
+
+
+def default_lustre() -> SharedFileSystem:
+    """The deployment the paper measured (Table III's Lustre row for the
+    single-client path; production-multi-tenant aggregates)."""
+    return SharedFileSystem(client_model=lustre())

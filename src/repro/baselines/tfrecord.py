@@ -1,0 +1,116 @@
+"""A TFRecord-compatible record file format (§III's "encapsulation"
+baseline, Figure 6's comparison target).
+
+Implements the actual TFRecord on-disk framing: per record an 8-byte LE
+length, a 4-byte masked CRC32 of the length, the payload, and a 4-byte
+masked CRC32 of the payload (the mask is TensorFlow's
+``((crc >> 15) | (crc << 17)) + 0xa282ead8``). CRCs here use CRC-32
+(zlib) rather than CRC-32C — consistent between our writer and reader,
+which is what the benchmark requires.
+
+The format's structural weakness — the reason Figure 6 shows FanStore
+5–10× faster — is also reproduced: records have no index, so random
+batch access must either scan sequentially or maintain an external
+offset table, and every read re-frames and re-checksums the payload.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+from typing import BinaryIO, Iterator, Sequence
+
+from repro.errors import FormatError
+
+_LEN_STRUCT = struct.Struct("<Q")
+_CRC_STRUCT = struct.Struct("<I")
+_MASK_DELTA = 0xA282EAD8
+
+
+def _masked_crc(data: bytes) -> int:
+    crc = zlib.crc32(data) & 0xFFFFFFFF
+    return (((crc >> 15) | (crc << 17)) + _MASK_DELTA) & 0xFFFFFFFF
+
+
+class TFRecordWriter:
+    """Sequential record writer."""
+
+    def __init__(self, stream: BinaryIO) -> None:
+        self._stream = stream
+
+    def write(self, record: bytes) -> int:
+        """Append one record; returns its starting byte offset."""
+        offset = self._stream.tell()
+        header = _LEN_STRUCT.pack(len(record))
+        self._stream.write(header)
+        self._stream.write(_CRC_STRUCT.pack(_masked_crc(header)))
+        self._stream.write(record)
+        self._stream.write(_CRC_STRUCT.pack(_masked_crc(record)))
+        return offset
+
+
+def write_tfrecord(path: Path | str, records: Sequence[bytes]) -> list[int]:
+    """Write records to ``path``; returns their offsets (for the
+    offset-index variant of the benchmark)."""
+    offsets = []
+    with open(path, "wb") as fh:
+        writer = TFRecordWriter(fh)
+        for r in records:
+            offsets.append(writer.write(r))
+    return offsets
+
+
+class TFRecordReader:
+    """Sequential and (offset-indexed) random record access."""
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = Path(path)
+
+    def _read_one(self, fh: BinaryIO) -> bytes | None:
+        header = fh.read(_LEN_STRUCT.size)
+        if not header:
+            return None
+        if len(header) != _LEN_STRUCT.size:
+            raise FormatError("tfrecord: truncated length")
+        (length,) = _LEN_STRUCT.unpack(header)
+        crc_raw = fh.read(_CRC_STRUCT.size)
+        if len(crc_raw) != _CRC_STRUCT.size:
+            raise FormatError("tfrecord: truncated length crc")
+        if _CRC_STRUCT.unpack(crc_raw)[0] != _masked_crc(header):
+            raise FormatError("tfrecord: length crc mismatch")
+        record = fh.read(length)
+        if len(record) != length:
+            raise FormatError("tfrecord: truncated record")
+        crc_raw = fh.read(_CRC_STRUCT.size)
+        if len(crc_raw) != _CRC_STRUCT.size:
+            raise FormatError("tfrecord: truncated record crc")
+        if _CRC_STRUCT.unpack(crc_raw)[0] != _masked_crc(record):
+            raise FormatError("tfrecord: record crc mismatch")
+        return record
+
+    def __iter__(self) -> Iterator[bytes]:
+        """Sequential scan — the access pattern TF input pipelines use."""
+        with open(self.path, "rb") as fh:
+            while True:
+                record = self._read_one(fh)
+                if record is None:
+                    return
+                yield record
+
+    def read_at(self, offset: int) -> bytes:
+        """Random access given an external offset index."""
+        with open(self.path, "rb") as fh:
+            fh.seek(offset)
+            record = self._read_one(fh)
+            if record is None:
+                raise FormatError(f"tfrecord: no record at offset {offset}")
+            return record
+
+    def read_nth_sequential(self, n: int) -> bytes:
+        """Random access *without* an index: scan from the start — the
+        cost profile that makes shuffled access over TFRecord slow."""
+        for i, record in enumerate(self):
+            if i == n:
+                return record
+        raise FormatError(f"tfrecord: fewer than {n + 1} records")

@@ -1,0 +1,5 @@
+"""Benchmark harness utilities: paper-vs-measured reporting."""
+
+from repro.bench.report import PaperComparison, ordering_preserved, ratio_check
+
+__all__ = ["PaperComparison", "ratio_check", "ordering_preserved"]

@@ -1,0 +1,29 @@
+"""Cluster descriptions: nodes, machines, and placement analysis.
+
+Presets reproduce the paper's §VII-A platforms (GTX, V100, CPU);
+:mod:`~repro.cluster.placement` implements the Figure 1 capacity-vs-
+efficiency analysis that motivates compression.
+"""
+
+from repro.cluster.machines import MACHINES, cpu, get_machine, gtx, v100
+from repro.cluster.node import MachineSpec, NodeSpec
+from repro.cluster.placement import (
+    PlacementAnalysis,
+    analyze_placement,
+    max_efficient_nodes,
+    min_nodes_for_data,
+)
+
+__all__ = [
+    "NodeSpec",
+    "MachineSpec",
+    "gtx",
+    "v100",
+    "cpu",
+    "MACHINES",
+    "get_machine",
+    "PlacementAnalysis",
+    "analyze_placement",
+    "min_nodes_for_data",
+    "max_efficient_nodes",
+]

@@ -1,0 +1,72 @@
+"""The paper's three test platforms (§VII-A) as machine presets."""
+
+from __future__ import annotations
+
+from repro.cluster.node import MachineSpec, NodeSpec
+from repro.simnet.devices import ram_disk_power9, ssd
+from repro.simnet.network import fdr_infiniband, omni_path
+from repro.util.units import GB
+
+
+def gtx() -> MachineSpec:
+    """**GTX**: 16 nodes × 4 × GTX 1080 Ti, ~60 GB local SSD, FDR IB."""
+    return MachineSpec(
+        name="GTX",
+        nodes=16,
+        node=NodeSpec(
+            name="gtx-node",
+            processors=4,
+            processor_name="GTX 1080 Ti",
+            burst_buffer_bytes=60 * GB,
+            storage=ssd(),
+            arch="skx",
+        ),
+        interconnect=fdr_infiniband(),
+    )
+
+
+def v100() -> MachineSpec:
+    """**V100**: 4 nodes × 4 × V100 on POWER9, ~256 GB RAM disk, FDR IB."""
+    return MachineSpec(
+        name="V100",
+        nodes=4,
+        node=NodeSpec(
+            name="v100-node",
+            processors=4,
+            processor_name="V100",
+            burst_buffer_bytes=256 * GB,
+            storage=ram_disk_power9(),
+            arch="power9",
+        ),
+        interconnect=fdr_infiniband(),
+    )
+
+
+def cpu() -> MachineSpec:
+    """**CPU**: 512 nodes × 2 × Xeon Platinum 8160, ~144 GB SSD, OPA."""
+    return MachineSpec(
+        name="CPU",
+        nodes=512,
+        node=NodeSpec(
+            name="cpu-node",
+            processors=2,
+            processor_name="Xeon Platinum 8160",
+            burst_buffer_bytes=144 * GB,
+            storage=ssd(),
+            arch="skx",
+        ),
+        interconnect=omni_path(),
+    )
+
+
+MACHINES = {"GTX": gtx, "V100": v100, "CPU": cpu}
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a preset by its paper name (case-insensitive)."""
+    try:
+        return MACHINES[name.upper()]()
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {name!r}; choose from {sorted(MACHINES)}"
+        ) from None

@@ -1,0 +1,65 @@
+"""Compute-node and machine descriptions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.simnet.devices import StorageModel
+from repro.simnet.network import InterconnectModel
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node: accelerators plus a node-local burst buffer.
+
+    ``burst_buffer_bytes`` is the *M* of the paper's Figure 1 constraint
+    ``N × M ≥ |T|``; ``arch`` selects the compressor performance scale
+    ("skx" or "power9").
+    """
+
+    name: str
+    processors: int  # GPUs or CPU sockets usable for training
+    processor_name: str
+    burst_buffer_bytes: int
+    storage: StorageModel
+    arch: str = "skx"
+
+    def __post_init__(self) -> None:
+        if self.processors < 1:
+            raise SimulationError(f"{self.name}: processors must be >= 1")
+        if self.burst_buffer_bytes <= 0:
+            raise SimulationError(f"{self.name}: burst buffer must be positive")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A cluster: homogeneous nodes on one fabric (§VII-A platforms)."""
+
+    name: str
+    nodes: int
+    node: NodeSpec
+    interconnect: InterconnectModel
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise SimulationError(f"{self.name}: nodes must be >= 1")
+
+    @property
+    def total_processors(self) -> int:
+        return self.nodes * self.node.processors
+
+    @property
+    def total_burst_buffer_bytes(self) -> int:
+        return self.nodes * self.node.burst_buffer_bytes
+
+    def subset(self, nodes: int) -> "MachineSpec":
+        """The same machine restricted to ``nodes`` nodes (scaling sweeps)."""
+        if not 1 <= nodes <= self.nodes:
+            raise SimulationError(
+                f"{self.name}: cannot take {nodes} of {self.nodes} nodes"
+            )
+        return MachineSpec(
+            name=self.name, nodes=nodes, node=self.node,
+            interconnect=self.interconnect,
+        )

@@ -1,0 +1,38 @@
+"""MPI-like in-process runtime.
+
+A thread-per-rank :class:`~repro.comm.communicator.Communicator` with
+tagged point-to-point messaging and the standard collectives, the
+``mpiexec``-style :func:`~repro.comm.launcher.run_parallel` launcher,
+and the §V-D virtual-ring transfer pattern.
+"""
+
+from repro.comm.communicator import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Communicator,
+    Request,
+    World,
+)
+from repro.comm.fusion import (
+    FusionBuffer,
+    bucketed_allreduce,
+    modeled_allreduce_seconds,
+)
+from repro.comm.launcher import ParallelFailure, run_parallel
+from repro.comm.ring import ring_exchange, ring_neighbors, ring_replicate
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "Request",
+    "World",
+    "ParallelFailure",
+    "run_parallel",
+    "ring_exchange",
+    "ring_neighbors",
+    "ring_replicate",
+    "FusionBuffer",
+    "bucketed_allreduce",
+    "modeled_allreduce_seconds",
+]

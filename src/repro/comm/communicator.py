@@ -1,0 +1,404 @@
+"""A thread-per-rank, MPI-like communicator.
+
+FanStore's four communication sites (§V-D: metadata allgather, extra-
+partition ring copy, remote file retrieval, write-metadata forwarding)
+run over MPI in the paper. This module provides the in-process
+equivalent: a :class:`World` holding the shared rendezvous state and a
+:class:`Communicator` handle per rank, with mpi4py-style lowercase
+methods (arbitrary picklable payloads — here passed by reference, since
+ranks share one address space and FanStore only ships immutable bytes).
+
+Semantics implemented:
+
+- tagged point-to-point ``send``/``recv`` with ``ANY_SOURCE``/``ANY_TAG``
+  wildcards and FIFO ordering per (source, tag) pair;
+- non-blocking ``isend``/``irecv`` returning :class:`Request`;
+- collectives ``barrier``, ``bcast``, ``gather``, ``scatter``,
+  ``allgather``, ``alltoall``, ``reduce``, ``allreduce`` — all ranks
+  must call them in the same order (the MPI contract); a per-rank
+  sequence number enforces pairing across concurrent collectives.
+
+Deadlock safety: every blocking call accepts a ``timeout`` (seconds) and
+raises :class:`~repro.errors.CommError` on expiry, so a test that
+mis-pairs operations fails instead of hanging.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.errors import CommClosedError, CommError, RankError
+
+#: wildcard constants (mirroring MPI).
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+_DEFAULT_TIMEOUT = 60.0
+
+
+@dataclass
+class _Message:
+    source: int
+    tag: int
+    payload: Any
+
+
+class Request:
+    """Handle for a non-blocking operation (mpi4py's ``Request``)."""
+
+    __slots__ = ("_done", "_value", "_error", "_cond")
+
+    def __init__(self) -> None:
+        self._done = False
+        self._value: Any = None
+        self._error: BaseException | None = None
+        self._cond = threading.Condition()
+
+    def _complete(self, value: Any = None, error: BaseException | None = None) -> None:
+        with self._cond:
+            self._done = True
+            self._value = value
+            self._error = error
+            self._cond.notify_all()
+
+    def test(self) -> bool:
+        """True once the operation has completed."""
+        with self._cond:
+            return self._done
+
+    def wait(self, timeout: float | None = _DEFAULT_TIMEOUT) -> Any:
+        """Block until completion; returns the received payload (irecv)
+        or None (isend)."""
+        with self._cond:
+            if not self._cond.wait_for(lambda: self._done, timeout):
+                raise CommError("request timed out")
+            if self._error is not None:
+                raise self._error
+            return self._value
+
+
+class _Mailbox:
+    """Per-rank tagged message store with wildcard matching."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._messages: list[_Message] = []
+        self._closed = False
+
+    def put(self, msg: _Message) -> None:
+        with self._cond:
+            if self._closed:
+                raise CommClosedError("mailbox closed")
+            self._messages.append(msg)
+            self._cond.notify_all()
+
+    def _match(self, source: int, tag: int) -> _Message | None:
+        for i, msg in enumerate(self._messages):
+            if source not in (ANY_SOURCE, msg.source):
+                continue
+            if tag not in (ANY_TAG, msg.tag):
+                continue
+            return self._messages.pop(i)
+        return None
+
+    def get(
+        self, source: int, tag: int, timeout: float | None
+    ) -> _Message:
+        with self._cond:
+            msg = self._match(source, tag)
+            if msg is not None:
+                return msg
+
+            def ready() -> bool:
+                return self._closed or self._match_peek(source, tag)
+
+            if not self._cond.wait_for(ready, timeout):
+                raise CommError(
+                    f"recv(source={source}, tag={tag}) timed out after {timeout}s"
+                )
+            if self._closed and not self._match_peek(source, tag):
+                raise CommClosedError("world torn down during recv")
+            msg = self._match(source, tag)
+            assert msg is not None
+            return msg
+
+    def _match_peek(self, source: int, tag: int) -> bool:
+        return any(
+            source in (ANY_SOURCE, m.source) and tag in (ANY_TAG, m.tag)
+            for m in self._messages
+        )
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+
+class _CollectiveSlot:
+    """Rendezvous buffer for one collective invocation (one seq number)."""
+
+    def __init__(self, size: int) -> None:
+        self.cond = threading.Condition()
+        self.values: dict[int, Any] = {}
+        self.size = size
+        self.departed = 0
+        self.closed = False
+
+    def deposit_and_wait(self, rank: int, value: Any, timeout: float | None) -> dict:
+        with self.cond:
+            self.values[rank] = value
+            self.cond.notify_all()
+            if not self.cond.wait_for(
+                lambda: self.closed or len(self.values) == self.size, timeout
+            ):
+                raise CommError(
+                    f"collective timed out ({len(self.values)}/{self.size} arrived)"
+                )
+            if self.closed and len(self.values) != self.size:
+                raise CommClosedError("world torn down during collective")
+            return self.values
+
+    def close(self) -> None:
+        with self.cond:
+            self.closed = True
+            self.cond.notify_all()
+
+
+class World:
+    """Shared state for a group of ``size`` ranks."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise RankError(f"world size must be >= 1, got {size}")
+        self.size = size
+        self._mailboxes = [_Mailbox() for _ in range(size)]
+        self._coll_lock = threading.Lock()
+        self._coll_slots: dict[int, _CollectiveSlot] = {}
+        self._closed = False
+
+    def comm(self, rank: int) -> "Communicator":
+        """The communicator handle for ``rank``."""
+        if not 0 <= rank < self.size:
+            raise RankError(f"rank {rank} outside [0, {self.size})")
+        return Communicator(self, rank)
+
+    def comms(self) -> list["Communicator"]:
+        """Handles for every rank, index = rank."""
+        return [self.comm(r) for r in range(self.size)]
+
+    def _collective_slot(self, seq: int) -> _CollectiveSlot:
+        with self._coll_lock:
+            slot = self._coll_slots.get(seq)
+            if slot is None:
+                slot = _CollectiveSlot(self.size)
+                if self._closed:  # late arrival after teardown
+                    slot.closed = True
+                self._coll_slots[seq] = slot
+            return slot
+
+    def _retire_slot(self, seq: int) -> None:
+        with self._coll_lock:
+            slot = self._coll_slots.get(seq)
+            if slot is None:
+                return
+            slot.departed += 1
+            if slot.departed == self.size:
+                del self._coll_slots[seq]
+
+    def close(self) -> None:
+        """Tear down: unblocks pending recvs *and* collectives with
+        CommClosedError (a failed rank must not leave its peers parked
+        at an allreduce until timeout)."""
+        self._closed = True
+        for mb in self._mailboxes:
+            mb.close()
+        with self._coll_lock:
+            slots = list(self._coll_slots.values())
+        for slot in slots:
+            slot.close()
+
+
+class Communicator:
+    """One rank's endpoint into a :class:`World`.
+
+    Each rank must use its communicator from a single thread (collective
+    sequence numbers are per-handle state), matching how one FanStore
+    daemon process uses MPI.
+    """
+
+    def __init__(self, world: World, rank: int) -> None:
+        self.world = world
+        self.rank = rank
+        self._coll_seq = 0
+
+    @property
+    def size(self) -> int:
+        return self.world.size
+
+    def _check_rank(self, rank: int, *, wildcard_ok: bool = False) -> None:
+        if wildcard_ok and rank == ANY_SOURCE:
+            return
+        if not 0 <= rank < self.size:
+            raise RankError(f"rank {rank} outside [0, {self.size})")
+
+    # -- point to point ---------------------------------------------------
+
+    def send(self, payload: Any, dest: int, tag: int = 0) -> None:
+        """Deliver ``payload`` to ``dest``'s mailbox (eager, non-blocking
+        in practice since mailboxes are unbounded)."""
+        self._check_rank(dest)
+        if tag < 0:
+            raise CommError(f"tag must be >= 0, got {tag}")
+        self.world._mailboxes[dest].put(_Message(self.rank, tag, payload))
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = _DEFAULT_TIMEOUT,
+    ) -> Any:
+        """Receive one matching message's payload."""
+        self._check_rank(source, wildcard_ok=True)
+        msg = self.world._mailboxes[self.rank].get(source, tag, timeout)
+        return msg.payload
+
+    def recv_with_status(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = _DEFAULT_TIMEOUT,
+    ) -> tuple[Any, int, int]:
+        """Like :meth:`recv` but also returns ``(payload, source, tag)``."""
+        self._check_rank(source, wildcard_ok=True)
+        msg = self.world._mailboxes[self.rank].get(source, tag, timeout)
+        return msg.payload, msg.source, msg.tag
+
+    def isend(self, payload: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send; completes immediately (eager protocol)."""
+        req = Request()
+        try:
+            self.send(payload, dest, tag)
+        except BaseException as exc:  # propagate through wait()
+            req._complete(error=exc)
+        else:
+            req._complete()
+        return req
+
+    def irecv(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Request:
+        """Non-blocking receive serviced by a helper thread."""
+        req = Request()
+
+        def _worker() -> None:
+            try:
+                payload = self.recv(source, tag, timeout=None)
+            except BaseException as exc:
+                req._complete(error=exc)
+            else:
+                req._complete(payload)
+
+        threading.Thread(target=_worker, daemon=True).start()
+        return req
+
+    # -- collectives -------------------------------------------------------
+
+    def _exchange(self, value: Any, timeout: float | None) -> dict[int, Any]:
+        seq = self._coll_seq
+        self._coll_seq += 1
+        slot = self.world._collective_slot(seq)
+        values = slot.deposit_and_wait(self.rank, value, timeout)
+        result = dict(values)
+        self.world._retire_slot(seq)
+        return result
+
+    def barrier(self, timeout: float | None = _DEFAULT_TIMEOUT) -> None:
+        """Block until every rank has arrived."""
+        self._exchange(None, timeout)
+
+    def allgather(
+        self, value: Any, timeout: float | None = _DEFAULT_TIMEOUT
+    ) -> list[Any]:
+        """Every rank contributes one value; all receive the rank-ordered
+        list. This is the §IV-C1 global-metadata-view primitive."""
+        values = self._exchange(value, timeout)
+        return [values[r] for r in range(self.size)]
+
+    def bcast(
+        self, value: Any, root: int = 0, timeout: float | None = _DEFAULT_TIMEOUT
+    ) -> Any:
+        """Root's value is returned on every rank."""
+        self._check_rank(root)
+        values = self._exchange(value if self.rank == root else None, timeout)
+        return values[root]
+
+    def gather(
+        self, value: Any, root: int = 0, timeout: float | None = _DEFAULT_TIMEOUT
+    ) -> list[Any] | None:
+        """All values to root (rank order); None elsewhere."""
+        self._check_rank(root)
+        values = self._exchange(value, timeout)
+        if self.rank != root:
+            return None
+        return [values[r] for r in range(self.size)]
+
+    def scatter(
+        self,
+        values: Sequence[Any] | None,
+        root: int = 0,
+        timeout: float | None = _DEFAULT_TIMEOUT,
+    ) -> Any:
+        """Root supplies one value per rank; each rank gets its own."""
+        self._check_rank(root)
+        if self.rank == root:
+            if values is None or len(values) != self.size:
+                raise CommError(
+                    f"scatter at root needs exactly {self.size} values"
+                )
+            contributed: Any = list(values)
+        else:
+            contributed = None
+        all_values = self._exchange(contributed, timeout)
+        return all_values[root][self.rank]
+
+    def alltoall(
+        self, values: Sequence[Any], timeout: float | None = _DEFAULT_TIMEOUT
+    ) -> list[Any]:
+        """Rank i's j-th value goes to rank j's i-th slot."""
+        if len(values) != self.size:
+            raise CommError(f"alltoall needs exactly {self.size} values")
+        exchanged = self._exchange(list(values), timeout)
+        return [exchanged[r][self.rank] for r in range(self.size)]
+
+    def reduce(
+        self,
+        value: Any,
+        op: Callable[[Any, Any], Any],
+        root: int = 0,
+        timeout: float | None = _DEFAULT_TIMEOUT,
+    ) -> Any | None:
+        """Pairwise-fold all values at root (rank order); None elsewhere."""
+        self._check_rank(root)
+        values = self._exchange(value, timeout)
+        if self.rank != root:
+            return None
+        acc = values[0]
+        for r in range(1, self.size):
+            acc = op(acc, values[r])
+        return acc
+
+    def allreduce(
+        self,
+        value: Any,
+        op: Callable[[Any, Any], Any],
+        timeout: float | None = _DEFAULT_TIMEOUT,
+    ) -> Any:
+        """Reduce then deliver to all ranks — the gradient-averaging
+        primitive of data-parallel training (§II-A)."""
+        values = self._exchange(value, timeout)
+        acc = values[0]
+        for r in range(1, self.size):
+            acc = op(acc, values[r])
+        return acc

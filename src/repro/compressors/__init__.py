@@ -1,0 +1,99 @@
+"""Lossless compressor suite.
+
+From-scratch codecs (RLE, LZW, canonical Huffman, an LZ4-family LZ77),
+stdlib codecs (zlib, bz2, lzma) at every level, and reversible filters
+(delta, xor, bitshuffle, byte-shuffle) composed into the 180 named
+configurations the paper evaluates with lzbench. The registry assigns
+each configuration the 2-byte id stored per file in FanStore partitions.
+
+Calibrated profiles of the paper's native compressors (lzsse8, lz4hc,
+brotli, …) live in :mod:`repro.compressors.profiles` and drive the
+modeled experiments; :data:`~repro.compressors.registry.PAPER_ALIASES`
+maps those names onto real suite members for the functional byte path.
+"""
+
+from repro.compressors.base import Codec, Compressor, Filter
+from repro.compressors.filters import (
+    BitshuffleFilter,
+    DeltaFilter,
+    MtfFilter,
+    TransposeFilter,
+    XorFilter,
+)
+from repro.compressors.huffman import HuffmanCodec
+from repro.compressors.lz77 import Lz77Codec
+from repro.compressors.lzbench import (
+    BenchResult,
+    bench_compressor,
+    format_results,
+    pareto_front,
+    run_suite,
+)
+from repro.compressors.lossy import (
+    SzLikeCodec,
+    ZfpLikeCodec,
+    max_abs_error,
+    psnr,
+)
+from repro.compressors.lzw import LzwCodec
+from repro.compressors.null import NullCodec
+from repro.compressors.profiles import (
+    DATASET_KEYS,
+    PAPER_PROFILES,
+    PaperProfile,
+    get_profile,
+    list_profiles,
+)
+from repro.compressors.registry import (
+    PAPER_ALIASES,
+    RAW_ID,
+    RAW_NAME,
+    CompressorRegistry,
+    build_default_registry,
+    default_registry,
+    get_compressor,
+    list_compressors,
+)
+from repro.compressors.rle import RleCodec
+from repro.compressors.stdlib import Bz2Codec, LzmaCodec, ZlibCodec
+
+__all__ = [
+    "Codec",
+    "Compressor",
+    "Filter",
+    "NullCodec",
+    "RleCodec",
+    "LzwCodec",
+    "HuffmanCodec",
+    "Lz77Codec",
+    "ZlibCodec",
+    "Bz2Codec",
+    "LzmaCodec",
+    "DeltaFilter",
+    "XorFilter",
+    "BitshuffleFilter",
+    "MtfFilter",
+    "TransposeFilter",
+    "CompressorRegistry",
+    "build_default_registry",
+    "default_registry",
+    "get_compressor",
+    "list_compressors",
+    "PAPER_ALIASES",
+    "RAW_ID",
+    "RAW_NAME",
+    "BenchResult",
+    "bench_compressor",
+    "run_suite",
+    "pareto_front",
+    "format_results",
+    "PaperProfile",
+    "PAPER_PROFILES",
+    "DATASET_KEYS",
+    "get_profile",
+    "list_profiles",
+    "SzLikeCodec",
+    "ZfpLikeCodec",
+    "max_abs_error",
+    "psnr",
+]

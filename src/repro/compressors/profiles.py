@@ -1,0 +1,199 @@
+"""Calibrated performance profiles of the paper's named compressors.
+
+The selection algorithm (§VI-B) consumes two quantities per compressor:
+decompression throughput (files/s, via a per-file cost) and compression
+ratio (per dataset). The paper measured these with native lzbench on
+Intel Skylake (SKX) and POWER9; native codecs like lzsse8 cannot be run
+here, so this module records the paper's published constants (Tables IV
+and VII, Figure 7) as *profiles* behind a cost model
+
+    cost(file) = overhead + size / bandwidth            (seconds)
+
+whose two parameters are fitted to the paper's numbers at both file
+scales it reports (1.6 MB EM files in Table VII(a)/(c) and 1.2 KB
+tokamak files in Table VII(b)) — one (overhead, bandwidth) pair is
+consistent with both, which is what makes the model credible.
+
+These profiles drive the *modeled* reproduction of Tables V–VII and
+Figures 8–9. The *functional* byte path uses the real suite via
+:data:`repro.compressors.registry.PAPER_ALIASES`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.errors import UnknownCompressorError
+from repro.util.units import MB
+
+#: canonical dataset keys (Table II rows).
+DATASET_KEYS = ("em", "tokamak", "lung", "astro", "imagenet", "language")
+
+
+@dataclass(frozen=True)
+class PaperProfile:
+    """Published characteristics of one paper compressor.
+
+    ``decompress_bandwidth`` / ``compress_bandwidth`` are bytes/s on the
+    SKX reference; ``per_file_overhead_s`` is the size-independent call
+    cost; ``arch_scale`` multiplies bandwidth per architecture ("skx",
+    "power9"); ``ratios`` maps dataset key → compression ratio.
+    """
+
+    name: str
+    per_file_overhead_s: float
+    decompress_bandwidth: float
+    compress_bandwidth: float
+    ratios: Mapping[str, float]
+    arch_scale: Mapping[str, float] = field(
+        default_factory=lambda: MappingProxyType({"skx": 1.0, "power9": 1.0})
+    )
+
+    def decompress_cost(self, file_size: int, arch: str = "skx") -> float:
+        """Seconds to decompress one file of ``file_size`` *original* bytes."""
+        scale = self.arch_scale.get(arch, 1.0)
+        return self.per_file_overhead_s + file_size / (
+            self.decompress_bandwidth * scale
+        )
+
+    def decompress_throughput(self, file_size: int, arch: str = "skx") -> float:
+        """``Tpt_decom`` in files/s for files of ``file_size`` bytes."""
+        return 1.0 / self.decompress_cost(file_size, arch)
+
+    def ratio_for(self, dataset: str) -> float:
+        try:
+            return self.ratios[dataset]
+        except KeyError:
+            raise UnknownCompressorError(
+                f"profile {self.name!r} has no ratio for dataset {dataset!r}"
+            ) from None
+
+
+def _ratios(**kwargs: float) -> Mapping[str, float]:
+    missing = set(DATASET_KEYS) - set(kwargs)
+    if missing:
+        raise ValueError(f"missing dataset ratios: {missing}")
+    return MappingProxyType(dict(kwargs))
+
+
+# Calibration notes (sizes are original-file sizes):
+#   Table VII(a), EM 1.6 MB on SKX:  lzsse8 619 µs, lz4hc 858 µs,
+#     brotli 4741 µs, zling 17123 µs, lzma 41261 µs.
+#   Table VII(b), tokamak 1.2 KB:    lzf 0.41 µs, lzsse8 0.43 µs,
+#     brotli 5.23 µs.
+#   Table VII(c), EM 1.6 MB on POWER9: lz4hc 942 µs, brotli 5650 µs,
+#     lzma 43382 µs.
+#   Figure 7(a): lzsse8 540 µs fastest on SKX; lzsse8 is SSE-specific so
+#     its POWER9 scale is penalized (the paper picks lz4hc on POWER9).
+PAPER_PROFILES: dict[str, PaperProfile] = {
+    p.name: p
+    for p in (
+        PaperProfile(
+            name="memcpy",
+            per_file_overhead_s=0.1e-6,
+            decompress_bandwidth=8_000 * MB,
+            compress_bandwidth=8_000 * MB,
+            ratios=_ratios(
+                em=1.0, tokamak=1.0, lung=1.0, astro=1.0, imagenet=1.0, language=1.0
+            ),
+        ),
+        PaperProfile(
+            name="lz4fast",
+            per_file_overhead_s=0.2e-6,
+            decompress_bandwidth=4_200 * MB,
+            compress_bandwidth=900 * MB,
+            ratios=_ratios(
+                em=1.3, tokamak=1.5, lung=2.1, astro=1.4, imagenet=1.0, language=1.6
+            ),
+        ),
+        PaperProfile(
+            name="lzf",
+            per_file_overhead_s=0.13e-6,
+            decompress_bandwidth=3_600 * MB,
+            compress_bandwidth=400 * MB,
+            ratios=_ratios(
+                em=1.8, tokamak=2.4, lung=3.9, astro=2.0, imagenet=1.0, language=2.2
+            ),
+        ),
+        PaperProfile(
+            name="lzsse8",
+            # 1.6 MB / (619 µs − overhead) ≈ 2 590 MB/s; 1.2 KB file cost
+            # 0.43 µs ⇒ overhead ≈ 0.1 µs. SSE-specific: 2.2× slower on POWER9.
+            per_file_overhead_s=0.1e-6,
+            decompress_bandwidth=2_590 * MB,
+            compress_bandwidth=18 * MB,
+            arch_scale=MappingProxyType({"skx": 1.0, "power9": 0.45}),
+            ratios=_ratios(
+                em=2.3, tokamak=2.6, lung=5.7, astro=2.6, imagenet=1.0, language=2.8
+            ),
+        ),
+        PaperProfile(
+            name="lz4hc",
+            # SKX: 1.6 MB / 858 µs ≈ 1 870 MB/s; POWER9 942 µs ⇒ scale 0.91.
+            per_file_overhead_s=0.15e-6,
+            decompress_bandwidth=1_870 * MB,
+            compress_bandwidth=40 * MB,
+            arch_scale=MappingProxyType({"skx": 1.0, "power9": 0.91}),
+            ratios=_ratios(
+                em=2.0, tokamak=3.0, lung=6.5, astro=2.2, imagenet=1.0, language=2.6
+            ),
+        ),
+        PaperProfile(
+            name="brotli",
+            # SKX: 1.6 MB / 4 741 µs ≈ 338 MB/s; 1.2 KB cost 5.23 µs ⇒
+            # overhead ≈ 1.6 µs. POWER9 5 650 µs ⇒ scale 0.84.
+            per_file_overhead_s=1.6e-6,
+            decompress_bandwidth=338 * MB,
+            compress_bandwidth=3 * MB,
+            arch_scale=MappingProxyType({"skx": 1.0, "power9": 0.84}),
+            ratios=_ratios(
+                em=3.4, tokamak=3.3, lung=9.0, astro=3.0, imagenet=1.0, language=3.6
+            ),
+        ),
+        PaperProfile(
+            name="zling",
+            # SKX: 1.6 MB / 17 123 µs ≈ 93 MB/s.
+            per_file_overhead_s=2.0e-6,
+            decompress_bandwidth=93 * MB,
+            compress_bandwidth=25 * MB,
+            ratios=_ratios(
+                em=3.1, tokamak=3.2, lung=8.6, astro=2.9, imagenet=1.0, language=3.4
+            ),
+        ),
+        PaperProfile(
+            name="lzma",
+            # SKX: 1.6 MB / 41 261 µs ≈ 39 MB/s; POWER9 43 382 µs ⇒ 0.95.
+            per_file_overhead_s=8.0e-6,
+            decompress_bandwidth=39 * MB,
+            compress_bandwidth=2 * MB,
+            arch_scale=MappingProxyType({"skx": 1.0, "power9": 0.95}),
+            ratios=_ratios(
+                em=4.0, tokamak=3.6, lung=10.8, astro=3.4, imagenet=1.0, language=4.0
+            ),
+        ),
+        PaperProfile(
+            name="xz",
+            per_file_overhead_s=9.0e-6,
+            decompress_bandwidth=38 * MB,
+            compress_bandwidth=2 * MB,
+            ratios=_ratios(
+                em=4.0, tokamak=3.4, lung=10.8, astro=3.4, imagenet=1.0, language=4.0
+            ),
+        ),
+    )
+}
+
+
+def get_profile(name: str) -> PaperProfile:
+    """Look up a paper profile by compressor name."""
+    try:
+        return PAPER_PROFILES[name]
+    except KeyError:
+        raise UnknownCompressorError(f"no paper profile named {name!r}") from None
+
+
+def list_profiles() -> list[str]:
+    """Names of all calibrated paper profiles."""
+    return sorted(PAPER_PROFILES)

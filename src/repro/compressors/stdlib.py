@@ -1,0 +1,79 @@
+"""Wrappers over the CPython standard-library codecs.
+
+These give the suite its production-strength members: DEFLATE (zlib,
+9 levels — the algorithm family of gzip/zling), Burrows-Wheeler (bz2,
+9 levels), and LZMA (10 presets — the algorithm of xz/7z, the paper's
+highest-ratio compressors). Their C implementations also provide the
+fast end of the measured-throughput spectrum on this host.
+"""
+
+from __future__ import annotations
+
+import bz2
+import lzma
+import zlib
+
+from repro.compressors.base import Codec
+from repro.errors import CompressionError
+
+
+class ZlibCodec(Codec):
+    """DEFLATE at a fixed level (1 fastest … 9 best)."""
+
+    def __init__(self, level: int = 6) -> None:
+        if not 1 <= level <= 9:
+            raise ValueError(f"zlib level must be in [1, 9], got {level}")
+        self.level = level
+        self.name = f"zlib-{level}"
+
+    def compress(self, data: bytes) -> bytes:
+        return zlib.compress(data, self.level)
+
+    def decompress(self, data: bytes) -> bytes:
+        try:
+            return zlib.decompress(data)
+        except zlib.error as exc:
+            raise CompressionError(f"zlib: {exc}") from exc
+
+
+class Bz2Codec(Codec):
+    """Burrows–Wheeler at a fixed block size (1 … 9 × 100 KB blocks)."""
+
+    def __init__(self, level: int = 9) -> None:
+        if not 1 <= level <= 9:
+            raise ValueError(f"bz2 level must be in [1, 9], got {level}")
+        self.level = level
+        self.name = f"bz2-{level}"
+
+    def compress(self, data: bytes) -> bytes:
+        return bz2.compress(data, self.level)
+
+    def decompress(self, data: bytes) -> bytes:
+        try:
+            return bz2.decompress(data)
+        except (OSError, ValueError) as exc:
+            raise CompressionError(f"bz2: {exc}") from exc
+
+
+class LzmaCodec(Codec):
+    """LZMA (xz container) at a fixed preset (0 fastest … 9 best).
+
+    This is the repo's functional equivalent of both the paper's ``lzma``
+    and ``xz`` entries (identical algorithm, different container in
+    lzbench; Table IV reports them with equal ratios).
+    """
+
+    def __init__(self, preset: int = 6) -> None:
+        if not 0 <= preset <= 9:
+            raise ValueError(f"lzma preset must be in [0, 9], got {preset}")
+        self.preset = preset
+        self.name = f"lzma-{preset}"
+
+    def compress(self, data: bytes) -> bytes:
+        return lzma.compress(data, preset=self.preset)
+
+    def decompress(self, data: bytes) -> bytes:
+        try:
+            return lzma.decompress(data)
+        except lzma.LZMAError as exc:
+            raise CompressionError(f"lzma: {exc}") from exc

@@ -1,0 +1,31 @@
+"""Synthetic datasets matching the paper's Table II statistics."""
+
+from repro.datasets.spec import TABLE2, DatasetSpec, get_spec
+from repro.datasets.synthetic import (
+    GENERATORS,
+    astro_fits,
+    em_tif,
+    generate_dataset,
+    imagenet_jpg,
+    language_txt,
+    list_datasets,
+    lung_nii,
+    sample_files,
+    tokamak_npz,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "TABLE2",
+    "get_spec",
+    "GENERATORS",
+    "generate_dataset",
+    "sample_files",
+    "list_datasets",
+    "em_tif",
+    "tokamak_npz",
+    "lung_nii",
+    "astro_fits",
+    "imagenet_jpg",
+    "language_txt",
+]

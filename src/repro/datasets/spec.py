@@ -1,0 +1,120 @@
+"""Table II — statistics of the paper's six test datasets.
+
+The reproduction generates synthetic stand-ins at reduced scale; these
+specs carry both the paper's published statistics (for documentation and
+the benchmark headers) and the default reduced generation parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import GB, KB, KIB, MB, TB
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One Table II row plus reduced-scale generation defaults."""
+
+    key: str  # canonical key ("em", "tokamak", ...)
+    name: str  # paper's dataset name
+    file_format: str
+    paper_num_files: int
+    paper_num_dirs: int
+    paper_total_bytes: int
+    paper_avg_bytes: int
+    # reduced-scale defaults for synthetic generation
+    gen_num_files: int
+    gen_avg_bytes: int
+    #: approximate lossless compressibility the generator targets
+    #: (zlib-level): ~1.0 for JPEG-like, >2 for scientific formats.
+    target_ratio: float
+
+
+TABLE2: dict[str, DatasetSpec] = {
+    s.key: s
+    for s in (
+        DatasetSpec(
+            key="em",
+            name="EM",
+            file_format="tif",
+            paper_num_files=600_000,
+            paper_num_dirs=6,
+            paper_total_bytes=500 * GB,
+            paper_avg_bytes=int(1.6 * MB),
+            gen_num_files=24,
+            gen_avg_bytes=96 * KIB,
+            target_ratio=2.3,
+        ),
+        DatasetSpec(
+            key="tokamak",
+            name="Tokamak",
+            file_format="npz",
+            paper_num_files=580_000,
+            paper_num_dirs=1,
+            paper_total_bytes=int(1.7 * TB),
+            paper_avg_bytes=int(1.2 * KB),
+            gen_num_files=64,
+            gen_avg_bytes=1200,
+            target_ratio=2.6,
+        ),
+        DatasetSpec(
+            key="lung",
+            name="Lung image",
+            file_format="nii",
+            paper_num_files=1_400,
+            paper_num_dirs=2,
+            paper_total_bytes=int(2.2 * GB),
+            paper_avg_bytes=int(1.3 * MB),
+            gen_num_files=12,
+            gen_avg_bytes=128 * KIB,
+            target_ratio=5.7,
+        ),
+        DatasetSpec(
+            key="astro",
+            name="Astronomy image",
+            file_format="fits",
+            paper_num_files=17_700,
+            paper_num_dirs=1,
+            paper_total_bytes=1 * TB,
+            paper_avg_bytes=6 * MB,
+            gen_num_files=10,
+            gen_avg_bytes=192 * KIB,
+            target_ratio=2.6,
+        ),
+        DatasetSpec(
+            key="imagenet",
+            name="ImageNet",
+            file_format="jpg",
+            paper_num_files=1_300_000,
+            paper_num_dirs=2_002,
+            paper_total_bytes=140 * GB,
+            paper_avg_bytes=100 * KB,
+            gen_num_files=40,
+            gen_avg_bytes=24 * KIB,
+            target_ratio=1.0,
+        ),
+        DatasetSpec(
+            key="language",
+            name="Language",
+            file_format="txt",
+            paper_num_files=8,
+            paper_num_dirs=1,
+            paper_total_bytes=32 * MB,
+            paper_avg_bytes=4 * MB,
+            gen_num_files=8,
+            gen_avg_bytes=64 * KIB,
+            target_ratio=2.8,
+        ),
+    )
+}
+
+
+def get_spec(key: str) -> DatasetSpec:
+    """Look up a Table II dataset spec by canonical key."""
+    try:
+        return TABLE2[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {key!r}; choose from {sorted(TABLE2)}"
+        ) from None

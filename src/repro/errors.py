@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises errors derived from :class:`ReproError` so callers
+can catch package-level failures with one ``except`` clause while still
+discriminating by subsystem.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class CompressionError(ReproError):
+    """A codec failed to compress or decompress a payload."""
+
+
+class UnknownCompressorError(CompressionError, KeyError):
+    """A compressor name or numeric id was not found in the registry."""
+
+
+class FormatError(ReproError):
+    """A serialized structure (partition, record file) is malformed."""
+
+
+class FanStoreError(ReproError):
+    """Base class for FanStore runtime errors."""
+
+
+class FileNotFoundInStoreError(FanStoreError, FileNotFoundError):
+    """The requested path does not exist in the FanStore namespace."""
+
+
+class WriteViolationError(FanStoreError, PermissionError):
+    """The multi-read single-write model was violated (e.g. reopening a
+    closed output file for writing, or two writers on one path)."""
+
+
+class BadFileDescriptorError(FanStoreError, OSError):
+    """Operation on a file descriptor that is not open."""
+
+
+class CapacityError(FanStoreError):
+    """A node's burst buffer cannot host the data assigned to it."""
+
+
+class CommError(ReproError):
+    """Base class for communicator failures."""
+
+
+class RankError(CommError, ValueError):
+    """A rank argument was outside ``[0, size)``."""
+
+
+class CommClosedError(CommError, RuntimeError):
+    """Communication attempted on a torn-down communicator."""
+
+
+class SelectionError(ReproError):
+    """The compressor-selection algorithm received inconsistent inputs."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event model was driven with invalid parameters."""

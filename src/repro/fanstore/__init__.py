@@ -1,0 +1,72 @@
+"""FanStore: the distributed compressed object store (the paper's core).
+
+Subsystems map one-to-one onto the paper's design sections:
+
+- :mod:`~repro.fanstore.layout` — the compressed data representation (Table I)
+- :mod:`~repro.fanstore.prepare` — the data-preparation tool (§V-B)
+- :mod:`~repro.fanstore.metadata` — RAM metadata + global view (§IV-C1)
+- :mod:`~repro.fanstore.cache` — refcounted FIFO decompressed cache (§IV-C3)
+- :mod:`~repro.fanstore.backend` — RAM / local-disk compressed-object storage
+- :mod:`~repro.fanstore.daemon` — the per-node service (§V-A, §V-D)
+- :mod:`~repro.fanstore.client` — the POSIX-compliant interface (Listing 1)
+- :mod:`~repro.fanstore.interception` — user-space call interposition (§V-C)
+- :mod:`~repro.fanstore.store` — the per-node facade tying it together
+- :mod:`~repro.fanstore.faults` — checkpoint/resume convention (§V-E)
+"""
+
+from repro.fanstore.backend import DiskBackend, PartitionBackend, RamBackend
+from repro.fanstore.cache import CacheStats, DecompressedCache
+from repro.fanstore.client import (
+    O_CREAT,
+    O_RDONLY,
+    O_WRONLY,
+    FanStoreClient,
+    FanStoreFile,
+)
+from repro.fanstore.daemon import DaemonConfig, DaemonStats, FanStoreDaemon
+from repro.fanstore.faults import Checkpoint, CheckpointManager
+from repro.fanstore.interception import intercept
+from repro.fanstore.layout import (
+    FLAG_BROADCAST,
+    FLAG_OUTPUT,
+    FileStat,
+    PartitionEntry,
+    iter_partition,
+    read_partition,
+    write_partition,
+)
+from repro.fanstore.metadata import FileRecord, MetadataTable, normalize
+from repro.fanstore.prepare import PreparedDataset, prepare_dataset
+from repro.fanstore.store import FanStore
+
+__all__ = [
+    "FanStore",
+    "FanStoreClient",
+    "FanStoreFile",
+    "FanStoreDaemon",
+    "DaemonConfig",
+    "DaemonStats",
+    "DecompressedCache",
+    "CacheStats",
+    "RamBackend",
+    "DiskBackend",
+    "PartitionBackend",
+    "MetadataTable",
+    "FileRecord",
+    "normalize",
+    "FileStat",
+    "PartitionEntry",
+    "write_partition",
+    "read_partition",
+    "iter_partition",
+    "FLAG_BROADCAST",
+    "FLAG_OUTPUT",
+    "prepare_dataset",
+    "PreparedDataset",
+    "intercept",
+    "CheckpointManager",
+    "Checkpoint",
+    "O_RDONLY",
+    "O_WRONLY",
+    "O_CREAT",
+]

@@ -1,0 +1,152 @@
+"""The decompressed-file cache (§IV-C3, Figures 2–4).
+
+FanStore decompresses a file on ``open()`` into a shared cache region
+and serves ``read()`` from it. Because DL training touches every file
+with equal probability each epoch, retention buys little; the paper's
+policy is therefore *minimum RAM*: a FIFO variant where an entry is
+pinned while any I/O thread has the file open (a per-entry reference
+count incremented on open, decremented on close) and released once its
+count returns to zero.
+
+This module implements that policy exactly (``retain_unpinned=False``),
+plus a capacity-bounded retention mode (``retain_unpinned=True``) used
+by the cache-policy ablation benchmark: entries whose count hits zero
+stay cached FIFO-ordered until capacity pressure evicts them, and a
+reopened file becomes a cache hit.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import FanStoreError
+
+
+@dataclass
+class CacheStats:
+    """Counters for the ablation benchmarks."""
+
+    opens: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    rejected: int = 0  # entries larger than the whole cache
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.opens if self.opens else 0.0
+
+
+@dataclass
+class _Entry:
+    data: bytes
+    refcount: int = 0
+
+
+class DecompressedCache:
+    """Reference-counted FIFO cache of decompressed file bytes.
+
+    ``capacity_bytes`` bounds resident bytes. Pinned entries (refcount
+    > 0) are never evicted; if an insert cannot fit even after evicting
+    everything unpinned, the insert still succeeds but is flagged in the
+    stats (the shared-memory pool would grow — the paper sizes the pool
+    for the largest working set).
+    """
+
+    def __init__(
+        self, capacity_bytes: int = 1 << 30, *, retain_unpinned: bool = False
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise FanStoreError("cache capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.retain_unpinned = retain_unpinned
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._resident = 0
+        self.stats = CacheStats()
+
+    # -- core protocol ----------------------------------------------------
+
+    def open(self, path: str) -> bytes | None:
+        """Pin and return the cached bytes, or None on a miss.
+
+        Mirrors Figure 2's fast path: a second thread opening the same
+        file while the first still has it open shares the entry.
+        """
+        with self._lock:
+            self.stats.opens += 1
+            entry = self._entries.get(path)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            entry.refcount += 1
+            return entry.data
+
+    def insert(self, path: str, data: bytes) -> bytes:
+        """Install decompressed bytes for an open miss; pins the entry.
+
+        If another thread raced the decompression and inserted first,
+        its copy wins and is returned (both threads then share it).
+        """
+        with self._lock:
+            entry = self._entries.get(path)
+            if entry is not None:
+                entry.refcount += 1
+                return entry.data
+            self._make_room(len(data))
+            self._entries[path] = _Entry(data=data, refcount=1)
+            self._resident += len(data)
+            if len(data) > self.capacity_bytes:
+                self.stats.rejected += 1
+            return data
+
+    def close(self, path: str) -> None:
+        """Unpin; with the paper's policy a zero count frees the entry
+        immediately (Figure 4)."""
+        with self._lock:
+            entry = self._entries.get(path)
+            if entry is None or entry.refcount <= 0:
+                raise FanStoreError(f"close of non-open cache entry {path!r}")
+            entry.refcount -= 1
+            if entry.refcount == 0 and not self.retain_unpinned:
+                self._evict(path)
+
+    # -- internals ----------------------------------------------------------
+
+    def _evict(self, path: str) -> None:
+        entry = self._entries.pop(path)
+        self._resident -= len(entry.data)
+        self.stats.evictions += 1
+
+    def _make_room(self, incoming: int) -> None:
+        if self._resident + incoming <= self.capacity_bytes:
+            return
+        # FIFO order, skipping pinned entries (the paper's exception).
+        for path in list(self._entries):
+            if self._resident + incoming <= self.capacity_bytes:
+                break
+            if self._entries[path].refcount == 0:
+                self._evict(path)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return self._resident
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, path: str) -> bool:
+        with self._lock:
+            return path in self._entries
+
+    def refcount(self, path: str) -> int:
+        with self._lock:
+            entry = self._entries.get(path)
+            return entry.refcount if entry else 0

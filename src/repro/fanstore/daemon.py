@@ -1,0 +1,391 @@
+"""The FanStore daemon (§V-A, §V-D).
+
+One daemon runs per node (here: per rank of the in-process world). It
+
+1. loads its assigned partitions from the shared file system into the
+   local backend, plus any *extra* partitions capacity allows (copied
+   from the ring neighbor, not re-read from the shared FS — §V-D);
+2. exchanges metadata with every peer through one ``allgather`` so all
+   subsequent metadata traffic is node-local (§IV-C1);
+3. serves ``fetch`` requests from peers for compressed bytes it hosts
+   (MPI send/recv in the paper; the communicator here);
+4. decompresses on ``open()`` into the reference-counted cache and
+   answers ``read()`` from it (Figures 2–4);
+5. accepts the write path: an output file closed by the client is
+   dumped to the backend and its metadata forwarded to the rank that
+   owns the path's hash slot (§V-D site 4).
+
+Message protocol (all on ``TAG_DAEMON``; replies on caller-chosen tags):
+
+========== =====================================  =========================
+kind        payload                                reply
+========== =====================================  =========================
+fetch       (path, reply_tag)                     (ok, compressed|error)
+stat        (path, reply_tag)                     (ok, FileRecord|None)
+write_meta  FileRecord                            —
+stop        —                                     —
+========== =====================================  =========================
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import zlib
+from dataclasses import dataclass
+
+from repro.comm.communicator import ANY_SOURCE, Communicator
+from repro.compressors.registry import CompressorRegistry, default_registry
+from repro.errors import (
+    CapacityError,
+    CommClosedError,
+    CommError,
+    FanStoreError,
+    FileNotFoundInStoreError,
+)
+from repro.fanstore.backend import DiskBackend, RamBackend
+from repro.fanstore.cache import DecompressedCache
+from repro.fanstore.layout import read_partition
+from repro.fanstore.metadata import FileRecord, MetadataTable, normalize
+from repro.fanstore.prepare import PreparedDataset
+
+TAG_DAEMON = 0x0FA0
+_REPLY_TAG_BASE = 0x1000
+
+
+@dataclass
+class DaemonStats:
+    """Counters surfaced to the benchmarks."""
+
+    local_opens: int = 0
+    remote_fetches: int = 0
+    remote_bytes: int = 0
+    decompressions: int = 0
+    decompressed_bytes: int = 0
+    served_requests: int = 0
+    writes: int = 0
+    write_bytes: int = 0
+    malformed_requests: int = 0
+
+
+@dataclass(frozen=True)
+class DaemonConfig:
+    """Tunables of one daemon instance."""
+
+    cache_bytes: int = 1 << 30
+    retain_cache: bool = False  # paper policy: release at refcount zero
+    capacity_bytes: int | None = None  # burst-buffer budget; None = unbounded
+    extra_partition_budget: int = 0  # additional partitions to replicate
+    request_timeout: float = 30.0
+    #: compressor applied to output files at close (None = store raw).
+    #: Checkpoints/logs are written once and rarely re-read (§II-B3), so
+    #: a slow-but-dense codec is usually the right choice here.
+    output_compressor: str | None = None
+
+
+class FanStoreDaemon:
+    """Per-rank object-store service."""
+
+    def __init__(
+        self,
+        comm: Communicator | None = None,
+        *,
+        config: DaemonConfig | None = None,
+        backend: RamBackend | DiskBackend | None = None,
+        registry: CompressorRegistry | None = None,
+    ) -> None:
+        self.comm = comm
+        self.config = config or DaemonConfig()
+        self.backend = backend if backend is not None else RamBackend()
+        self.registry = registry or default_registry()
+        self.metadata = MetadataTable()
+        self.cache = DecompressedCache(
+            self.config.cache_bytes, retain_unpinned=self.config.retain_cache
+        )
+        self.stats = DaemonStats()
+        self.rank = comm.rank if comm else 0
+        self.size = comm.size if comm else 1
+        self._service_thread: threading.Thread | None = None
+        self._reply_tags = itertools.count(_REPLY_TAG_BASE + self.rank * 1_000_000)
+        self._reply_lock = threading.Lock()
+        self._loaded_bytes = 0
+
+    # -- loading ----------------------------------------------------------
+
+    def _assigned_partitions(self, num_partitions: int) -> list[int]:
+        """Round-robin partition→rank assignment (§V-D: rank determines
+        which partitions to load)."""
+        return [p for p in range(num_partitions) if p % self.size == self.rank]
+
+    def _charge_capacity(self, nbytes: int, what: str) -> None:
+        self._loaded_bytes += nbytes
+        cap = self.config.capacity_bytes
+        if cap is not None and self._loaded_bytes > cap:
+            raise CapacityError(
+                f"rank {self.rank}: loading {what} exceeds the "
+                f"{cap}-byte burst buffer ({self._loaded_bytes} needed)"
+            )
+
+    def _ingest_partition(self, partition_path, home_rank: int) -> int:
+        """Ingest one partition file; returns payload bytes ingested.
+
+        With a :class:`~repro.fanstore.backend.PartitionBackend` the
+        payloads stay inside the partition file on local disk and only
+        the metadata is scanned (the paper's SSD mode); otherwise the
+        payload bytes are loaded into the backend (the RAM mode).
+        """
+        payload = 0
+        if hasattr(self.backend, "register"):
+            entries = read_partition(partition_path, with_data=False)
+            for e in entries:
+                self.backend.register(
+                    e.path, partition_path, e.data_offset, e.compressed_size
+                )
+                payload += e.compressed_size
+        else:
+            entries = read_partition(partition_path, with_data=True)
+            for e in entries:
+                assert e.data is not None
+                self.backend.put(e.path, e.data)
+                payload += e.compressed_size
+        self.metadata.insert_entries(entries, home_rank)
+        return payload
+
+    def load(self, prepared: PreparedDataset) -> None:
+        """Stage the prepared dataset: local partitions from the shared
+        FS, extra partitions from the ring neighbor, broadcast partition
+        everywhere, then the metadata allgather."""
+        assigned = self._assigned_partitions(len(prepared.partitions))
+        partition_paths = prepared.partition_paths()
+        for pid in assigned:
+            nbytes = self._ingest_partition(partition_paths[pid], self.rank)
+            self._charge_capacity(nbytes, f"partition {pid}")
+
+        bcast = prepared.broadcast_path()
+        if bcast is not None:
+            nbytes = self._ingest_partition(bcast, self.rank)
+            self._charge_capacity(nbytes, "broadcast partition")
+
+        if self.comm is not None:
+            self._replicate_extra_partitions(assigned)
+            self._metadata_allgather()
+
+    def _replicate_extra_partitions(self, assigned: list[int]) -> None:
+        """§V-D site 2: extra partitions are copied from the left ring
+        neighbor rather than re-read off the shared file system. Each
+        hop ships (path, compressed bytes, record) tuples."""
+        budget = self.config.extra_partition_budget
+        if budget <= 0:
+            return
+        comm = self.comm
+        assert comm is not None
+        block = [
+            (rec.path, self.backend.get(rec.path), rec)
+            for rec in self.metadata.local_records(self.rank)
+            if not rec.is_broadcast
+        ]
+        left = (comm.rank - 1) % comm.size
+        right = (comm.rank + 1) % comm.size
+        current = block
+        for _hop in range(min(budget, comm.size - 1)):
+            comm.send(current, right, TAG_DAEMON + 1)
+            current = comm.recv(left, TAG_DAEMON + 1,
+                                timeout=self.config.request_timeout)
+            nbytes = 0
+            for path, data, _rec in current:
+                self.backend.put(path, data)
+                nbytes += len(data)
+            self._charge_capacity(nbytes, "extra partition")
+
+    def _metadata_allgather(self) -> None:
+        """§IV-C1: one allgather builds the identical global view on
+        every node. Records keep their *home* rank so remote fetches
+        know where to go."""
+        comm = self.comm
+        assert comm is not None
+        mine = self.metadata.local_records(self.rank)
+        for records in comm.allgather(mine):
+            self.metadata.merge(records)
+
+    # -- service loop -------------------------------------------------------
+
+    def start(self) -> None:
+        """Start answering peer requests (no-op single-node)."""
+        if self.comm is None or self._service_thread is not None:
+            return
+        self._service_thread = threading.Thread(
+            target=self._serve, name=f"fanstore-daemon-{self.rank}", daemon=True
+        )
+        self._service_thread.start()
+
+    def stop(self) -> None:
+        """Stop the service loop (idempotent)."""
+        if self.comm is None or self._service_thread is None:
+            return
+        self.comm.send(("stop", None), self.rank, TAG_DAEMON)
+        self._service_thread.join(timeout=self.config.request_timeout)
+        self._service_thread = None
+
+    def _serve(self) -> None:
+        comm = self.comm
+        assert comm is not None
+        while True:
+            try:
+                payload, source, _tag = comm.recv_with_status(
+                    ANY_SOURCE, TAG_DAEMON, timeout=None
+                )
+            except (CommClosedError, CommError):
+                return
+            # A malformed message must not kill the service loop — the
+            # daemon outlives misbehaving clients (it answers to every
+            # peer, not just the sender).
+            try:
+                kind, body = payload
+            except (TypeError, ValueError):
+                self.stats.malformed_requests += 1
+                continue
+            if kind == "stop":
+                return
+            if kind == "fetch":
+                path, reply_tag = body
+                self.stats.served_requests += 1
+                try:
+                    data = self.backend.get(path)
+                except FileNotFoundInStoreError:
+                    comm.send((False, path), source, reply_tag)
+                else:
+                    comm.send((True, data), source, reply_tag)
+            elif kind == "stat":
+                path, reply_tag = body
+                try:
+                    rec = self.metadata.get(path)
+                except FileNotFoundInStoreError:
+                    comm.send((False, None), source, reply_tag)
+                else:
+                    comm.send((True, rec), source, reply_tag)
+            elif kind == "write_meta":
+                record, reply_tag = body
+                self.metadata.insert(record)
+                comm.send((True, None), source, reply_tag)
+            else:
+                self.stats.malformed_requests += 1
+
+    # -- data path ------------------------------------------------------------
+
+    def _next_reply_tag(self) -> int:
+        with self._reply_lock:
+            return next(self._reply_tags)
+
+    def _lookup(self, norm: str) -> FileRecord:
+        """Metadata lookup with the runtime-output fallback: paths
+        written after the load-time allgather live only on their writer
+        and the hash owner, so a local miss asks the owner and caches
+        the record."""
+        try:
+            return self.metadata.get(norm)
+        except FileNotFoundInStoreError:
+            record = self.stat_any(norm)
+            if record is None:
+                raise
+            self.metadata.insert(record)
+            return record
+
+    def fetch_compressed(self, path: str) -> bytes:
+        """Compressed bytes for ``path`` — locally or from the home rank
+        over the interconnect (§IV-C2, Figure 2)."""
+        norm = normalize(path)
+        record = self._lookup(norm)
+        if record.home_rank == self.rank or self.comm is None:
+            self.stats.local_opens += 1
+            return self.backend.get(norm)
+        if norm in self.backend:  # replicated via an extra partition
+            self.stats.local_opens += 1
+            return self.backend.get(norm)
+        comm = self.comm
+        reply_tag = self._next_reply_tag()
+        comm.send(("fetch", (norm, reply_tag)), record.home_rank, TAG_DAEMON)
+        ok, data = comm.recv(
+            record.home_rank, reply_tag, timeout=self.config.request_timeout
+        )
+        if not ok:
+            raise FileNotFoundInStoreError(norm)
+        self.stats.remote_fetches += 1
+        self.stats.remote_bytes += len(data)
+        return data
+
+    def _decompress(self, record: FileRecord, data: bytes) -> bytes:
+        compressor = self.registry.get(record.compressor_id)
+        plain = compressor.decompress(data)
+        self.stats.decompressions += 1
+        self.stats.decompressed_bytes += len(plain)
+        if len(plain) != record.stat.st_size:
+            raise FanStoreError(
+                f"{record.path}: decompressed to {len(plain)} bytes, "
+                f"stat says {record.stat.st_size}"
+            )
+        return plain
+
+    def open_file(self, path: str) -> bytes:
+        """Figure 2's open(): cache hit or fetch+decompress+insert.
+        Pins the cache entry; pair with :meth:`close_file`."""
+        norm = normalize(path)
+        cached = self.cache.open(norm)
+        if cached is not None:
+            return cached
+        record = self._lookup(norm)
+        compressed = self.fetch_compressed(norm)
+        plain = self._decompress(record, compressed)
+        return self.cache.insert(norm, plain)
+
+    def close_file(self, path: str) -> None:
+        """Figure 4's close(): unpin (and free at refcount zero)."""
+        self.cache.close(normalize(path))
+
+    # -- write path ------------------------------------------------------------
+
+    def _hash_owner(self, path: str) -> int:
+        """Deterministic metadata owner for runtime-written paths (crc32
+        rather than ``hash()``, which is salted per process)."""
+        return zlib.crc32(path.encode("utf-8")) % self.size
+
+    def store_output(self, path: str, data: bytes, record: FileRecord) -> None:
+        """§V-D site 4: dump a closed output file to the backend and
+        forward its metadata to the owning rank. The forward is
+        acknowledged so that once ``close()`` returns, the metadata is
+        globally discoverable — otherwise a peer racing a barrier could
+        stat the path before the owner's daemon processed the insert."""
+        norm = normalize(path)
+        self.backend.put(norm, data)
+        self.metadata.insert(record)
+        self.stats.writes += 1
+        self.stats.write_bytes += len(data)
+        if self.comm is not None:
+            owner = self._hash_owner(norm)
+            if owner != self.rank:
+                reply_tag = self._next_reply_tag()
+                self.comm.send(
+                    ("write_meta", (record, reply_tag)), owner, TAG_DAEMON
+                )
+                self.comm.recv(
+                    owner, reply_tag, timeout=self.config.request_timeout
+                )
+
+    def stat_any(self, path: str) -> FileRecord | None:
+        """Metadata lookup that falls back to the hash owner for paths
+        written after the load-time allgather."""
+        norm = normalize(path)
+        try:
+            return self.metadata.get(norm)
+        except FileNotFoundInStoreError:
+            pass
+        if self.comm is None:
+            return None
+        owner = self._hash_owner(norm)
+        if owner == self.rank:
+            return None
+        reply_tag = self._next_reply_tag()
+        self.comm.send(("stat", (norm, reply_tag)), owner, TAG_DAEMON)
+        ok, rec = self.comm.recv(
+            owner, reply_tag, timeout=self.config.request_timeout
+        )
+        return rec if ok else None

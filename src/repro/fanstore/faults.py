@@ -1,0 +1,95 @@
+"""Checkpoint/resume support (§V-E).
+
+FanStore does not replicate for fault tolerance: batch-size-sensitive
+training cannot transparently absorb a lost node anyway, so the paper's
+answer is the DL-standard one — epoch-numbered checkpoints on the
+*shared* file system, resumable after relaunching at the same scale.
+This module implements that convention: checkpoint naming, atomic
+writes, latest-checkpoint discovery, and pruning.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.errors import FanStoreError
+
+_CKPT_RE = re.compile(r"^checkpoint-(\d{6})\.ckpt$")
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One saved training state."""
+
+    epoch: int
+    path: Path
+    payload: dict[str, Any]
+
+
+class CheckpointManager:
+    """Epoch-numbered checkpoints in a shared directory.
+
+    Payloads are JSON dicts (model/optimizer state supplied by the
+    trainer as lists). Writes are atomic (tmp + rename) so a node crash
+    mid-write never corrupts the resume point.
+    """
+
+    def __init__(self, directory: Path | str, *, keep_last: int | None = None) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if keep_last is not None and keep_last < 1:
+            raise FanStoreError(f"keep_last must be >= 1, got {keep_last}")
+        self.keep_last = keep_last
+
+    def _path_for(self, epoch: int) -> Path:
+        if epoch < 0 or epoch > 999_999:
+            raise FanStoreError(f"epoch out of range: {epoch}")
+        return self.directory / f"checkpoint-{epoch:06d}.ckpt"
+
+    def save(self, epoch: int, payload: dict[str, Any]) -> Path:
+        """Atomically persist ``payload`` as the epoch's checkpoint."""
+        final = self._path_for(epoch)
+        tmp = final.with_suffix(".tmp")
+        tmp.write_text(json.dumps({"epoch": epoch, "state": payload}))
+        os.replace(tmp, final)
+        if self.keep_last is not None:
+            self._prune()
+        return final
+
+    def epochs(self) -> list[int]:
+        """Checkpointed epochs, ascending."""
+        found = []
+        for entry in self.directory.iterdir():
+            m = _CKPT_RE.match(entry.name)
+            if m:
+                found.append(int(m.group(1)))
+        return sorted(found)
+
+    def load(self, epoch: int) -> Checkpoint:
+        path = self._path_for(epoch)
+        if not path.exists():
+            raise FanStoreError(f"no checkpoint for epoch {epoch}")
+        blob = json.loads(path.read_text())
+        if blob.get("epoch") != epoch:
+            raise FanStoreError(
+                f"checkpoint {path.name} claims epoch {blob.get('epoch')}"
+            )
+        return Checkpoint(epoch=epoch, path=path, payload=blob["state"])
+
+    def latest(self) -> Checkpoint | None:
+        """The resume point after a failure (§V-E), or None if fresh."""
+        epochs = self.epochs()
+        if not epochs:
+            return None
+        return self.load(epochs[-1])
+
+    def _prune(self) -> None:
+        assert self.keep_last is not None
+        epochs = self.epochs()
+        for epoch in epochs[: -self.keep_last]:
+            self._path_for(epoch).unlink(missing_ok=True)

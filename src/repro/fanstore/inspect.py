@@ -1,0 +1,128 @@
+"""Partition/dataset inspection tool: ``fanstore-inspect``.
+
+Operational tooling the original system ships alongside the preparation
+tool: inspect a packed dataset (manifest summary, per-partition entry
+listings, compressor histogram) and verify integrity by decompressing
+every entry against its stat record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from repro.compressors.registry import default_registry
+from repro.errors import FormatError
+from repro.fanstore.layout import read_partition
+from repro.fanstore.prepare import PreparedDataset
+from repro.util.units import format_bytes
+
+
+def summarize_dataset(root: Path) -> str:
+    """Manifest-level summary of a prepared dataset."""
+    prepared = PreparedDataset.load(root)
+    lines = [
+        f"prepared dataset at {root}",
+        f"  files:       {prepared.num_files}",
+        f"  partitions:  {len(prepared.partitions)}"
+        + (" + broadcast" if prepared.broadcast else ""),
+        f"  compressor:  {prepared.compressor}",
+        f"  original:    {format_bytes(prepared.original_bytes)}",
+        f"  packed:      {format_bytes(prepared.compressed_bytes)}",
+        f"  ratio:       {prepared.ratio:.2f}x",
+    ]
+    return "\n".join(lines)
+
+
+def list_partition(path: Path, *, limit: int | None = None) -> str:
+    """Entry listing of one partition file."""
+    entries = read_partition(path, with_data=False)
+    lines = [f"{path.name}: {len(entries)} entries"]
+    registry = default_registry()
+    comp_hist: Counter = Counter()
+    for e in entries[: limit or len(entries)]:
+        comp = registry.get(e.compressor_id).name
+        comp_hist[comp] += 1
+        lines.append(
+            f"  {e.path:<40} {e.stat.st_size:>10} -> "
+            f"{e.compressed_size:>10}  [{comp}]"
+        )
+    if limit is not None and len(entries) > limit:
+        lines.append(f"  ... {len(entries) - limit} more")
+    return "\n".join(lines)
+
+
+def verify_dataset(root: Path) -> tuple[int, list[str]]:
+    """Decompress every entry and check it against its stat record.
+
+    Returns ``(verified_count, problems)``.
+    """
+    prepared = PreparedDataset.load(root)
+    registry = default_registry()
+    problems: list[str] = []
+    verified = 0
+    paths = prepared.partition_paths()
+    if prepared.broadcast:
+        paths.append(prepared.broadcast_path())
+    for ppath in paths:
+        try:
+            entries = read_partition(ppath, with_data=True)
+        except FormatError as exc:
+            problems.append(f"{ppath.name}: unreadable ({exc})")
+            continue
+        for e in entries:
+            try:
+                plain = registry.get(e.compressor_id).decompress(e.data)
+            except Exception as exc:  # noqa: BLE001 - reported, not raised
+                problems.append(f"{e.path}: decompression failed ({exc})")
+                continue
+            if len(plain) != e.stat.st_size:
+                problems.append(
+                    f"{e.path}: size mismatch "
+                    f"({len(plain)} != {e.stat.st_size})"
+                )
+            else:
+                verified += 1
+    return verified, problems
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="fanstore-inspect",
+        description="Inspect and verify FanStore prepared datasets.",
+    )
+    parser.add_argument("root", type=Path, help="prepared dataset directory")
+    parser.add_argument(
+        "--list", action="store_true", help="list every partition's entries"
+    )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="decompress everything and check against stat records",
+    )
+    parser.add_argument("--limit", type=int, default=20,
+                        help="max entries listed per partition")
+    args = parser.parse_args(argv)
+
+    print(summarize_dataset(args.root))
+    if args.list:
+        prepared = PreparedDataset.load(args.root)
+        for name in prepared.partitions + (
+            [prepared.broadcast] if prepared.broadcast else []
+        ):
+            print()
+            print(list_partition(args.root / name, limit=args.limit))
+    if args.verify:
+        verified, problems = verify_dataset(args.root)
+        print(f"\nverified {verified} entries")
+        for p in problems:
+            print(f"  PROBLEM: {p}")
+        if problems:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

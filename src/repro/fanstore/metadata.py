@@ -1,0 +1,186 @@
+"""The in-RAM metadata service (§IV-C).
+
+Every FanStore process keeps the *entire* dataset's metadata in a local
+hash table, so ``stat()``/``readdir()`` — the calls that melt shared
+file-system metadata servers at scale (§II-B1) — never leave the node.
+The table is built from local partition scans and completed by one
+``allgather`` exchange (§IV-C1), after which it also knows, for every
+file, which rank's daemon holds the compressed bytes (``home_rank``).
+
+A derived directory index supports ``opendir``/``readdir`` without
+touching the per-file records.
+"""
+
+from __future__ import annotations
+
+import posixpath
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import FanStoreError, FileNotFoundInStoreError
+from repro.fanstore.layout import (
+    DEFAULT_DIR_MODE,
+    FileStat,
+    PartitionEntry,
+)
+
+
+def normalize(path: str) -> str:
+    """Canonical store-relative path: forward slashes, no leading '/',
+    no '.'/'..' segments."""
+    norm = posixpath.normpath(path.replace("\\", "/")).lstrip("/")
+    if norm in (".", ""):
+        return ""
+    if norm.startswith(".."):
+        raise FanStoreError(f"path escapes the store root: {path!r}")
+    return norm
+
+
+@dataclass(frozen=True)
+class FileRecord:
+    """One file's full metadata as held in RAM."""
+
+    path: str
+    stat: FileStat
+    compressor_id: int
+    compressed_size: int
+    home_rank: int
+    partition_id: int
+    data_offset: int = -1  # payload offset within its partition file
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.stat.is_broadcast
+
+
+class MetadataTable:
+    """Thread-safe path → record map plus a directory index."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._files: dict[str, FileRecord] = {}
+        self._dirs: dict[str, set[str]] = {"": set()}
+
+    # -- construction -----------------------------------------------------
+
+    def insert(self, record: FileRecord) -> None:
+        """Add or replace one file record and index its ancestors."""
+        path = normalize(record.path)
+        if not path:
+            raise FanStoreError("cannot insert the root as a file")
+        with self._lock:
+            self._files[path] = record
+            child = path
+            parent = posixpath.dirname(child)
+            while True:
+                self._dirs.setdefault(parent, set()).add(
+                    posixpath.basename(child)
+                )
+                if parent == "":
+                    break
+                child = parent
+                parent = posixpath.dirname(child)
+
+    def insert_entries(
+        self, entries: Iterable[PartitionEntry], home_rank: int
+    ) -> None:
+        """Index a scanned partition, stamping locality (§IV-C1)."""
+        for e in entries:
+            self.insert(
+                FileRecord(
+                    path=e.path,
+                    stat=e.stat.with_locality(home_rank),
+                    compressor_id=e.compressor_id,
+                    compressed_size=e.compressed_size,
+                    home_rank=home_rank,
+                    partition_id=e.stat.partition_id,
+                    data_offset=e.data_offset,
+                )
+            )
+
+    def merge(self, other_records: Iterable[FileRecord]) -> None:
+        """Fold records received from peers (the allgather exchange).
+
+        Broadcast files may arrive from several ranks; the lowest
+        home_rank wins deterministically so every node agrees.
+        """
+        with self._lock:
+            for rec in other_records:
+                existing = self._files.get(normalize(rec.path))
+                if existing is not None and existing.home_rank <= rec.home_rank:
+                    continue
+                self.insert(rec)
+
+    # -- queries ----------------------------------------------------------
+
+    def get(self, path: str) -> FileRecord:
+        norm = normalize(path)
+        with self._lock:
+            try:
+                return self._files[norm]
+            except KeyError:
+                raise FileNotFoundInStoreError(norm) from None
+
+    def stat(self, path: str) -> FileStat:
+        """``stat()``: file records directly, synthesized for directories."""
+        norm = normalize(path)
+        with self._lock:
+            rec = self._files.get(norm)
+            if rec is not None:
+                return rec.stat
+            if norm in self._dirs:
+                return FileStat(st_mode=DEFAULT_DIR_MODE, st_nlink=2)
+            raise FileNotFoundInStoreError(norm)
+
+    def exists(self, path: str) -> bool:
+        norm = normalize(path)
+        with self._lock:
+            return norm in self._files or norm in self._dirs
+
+    def is_dir(self, path: str) -> bool:
+        with self._lock:
+            return normalize(path) in self._dirs
+
+    def is_file(self, path: str) -> bool:
+        with self._lock:
+            return normalize(path) in self._files
+
+    def listdir(self, path: str = "") -> list[str]:
+        """``readdir()``: sorted entry names of a directory."""
+        norm = normalize(path)
+        with self._lock:
+            try:
+                return sorted(self._dirs[norm])
+            except KeyError:
+                raise FileNotFoundInStoreError(norm) from None
+
+    def walk_files(self) -> Iterator[FileRecord]:
+        """All file records (snapshot), in path order."""
+        with self._lock:
+            records = [self._files[p] for p in sorted(self._files)]
+        return iter(records)
+
+    def records(self) -> list[FileRecord]:
+        with self._lock:
+            return list(self._files.values())
+
+    def local_records(self, rank: int) -> list[FileRecord]:
+        """Records whose compressed bytes live on ``rank``."""
+        with self._lock:
+            return [r for r in self._files.values() if r.home_rank == rank]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._files)
+
+    def __contains__(self, path: str) -> bool:
+        return self.exists(path)
+
+    def total_original_bytes(self) -> int:
+        with self._lock:
+            return sum(r.stat.st_size for r in self._files.values())
+
+    def total_compressed_bytes(self) -> int:
+        with self._lock:
+            return sum(r.compressed_size for r in self._files.values())

@@ -1,0 +1,129 @@
+"""The FanStore facade (§V-A).
+
+Ties the pieces together the way a user launches the real system:
+prepare once, then on every node construct a ``FanStore`` with that
+node's communicator — the constructor loads partitions, exchanges
+metadata, and starts the daemon service; the object then exposes the
+POSIX client plus lifecycle management.
+
+Single-node usage needs no communicator::
+
+    prepared = prepare_dataset("raw_data/", "packed/", compressor="lz4hc")
+    with FanStore(prepared) as fs:
+        names = fs.client.listdir("train")
+        first = fs.client.read_file(f"train/{names[0]}")
+
+Multi-node usage, inside :func:`repro.comm.run_parallel`::
+
+    def node_main(comm):
+        with FanStore(prepared, comm=comm) as fs:
+            ...  # every rank sees the identical namespace
+
+``shutdown`` (or context exit) is collective when a communicator is
+present: a barrier guarantees no peer still needs this daemon's data
+before the service loop stops.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.comm.communicator import Communicator
+from repro.compressors.registry import CompressorRegistry
+from repro.errors import FanStoreError
+from repro.fanstore.backend import DiskBackend, PartitionBackend, RamBackend
+from repro.fanstore.client import FanStoreClient
+from repro.fanstore.daemon import DaemonConfig, FanStoreDaemon
+from repro.fanstore.prepare import PreparedDataset
+
+
+class FanStore:
+    """One node's view of the shared compressed object store."""
+
+    def __init__(
+        self,
+        prepared: PreparedDataset | Path | str,
+        *,
+        comm: Communicator | None = None,
+        config: DaemonConfig | None = None,
+        local_dir: Path | str | None = None,
+        backend: RamBackend | DiskBackend | PartitionBackend | None = None,
+        registry: CompressorRegistry | None = None,
+        mount_point: str = "/fanstore",
+    ) -> None:
+        if isinstance(prepared, (str, Path)):
+            prepared = PreparedDataset.load(prepared)
+        self.prepared = prepared
+        self.mount_point = mount_point.rstrip("/") or "/fanstore"
+        if backend is None:
+            backend = (
+                DiskBackend(local_dir) if local_dir is not None else RamBackend()
+            )
+        self.daemon = FanStoreDaemon(
+            comm, config=config, backend=backend, registry=registry
+        )
+        self.client = FanStoreClient(self.daemon)
+        self._active = False
+        self.daemon.load(prepared)
+        self.daemon.start()
+        self._active = True
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Collective teardown: barrier (everyone done reading), then
+        stop the service loop. Safe to call twice."""
+        if not self._active:
+            return
+        self._active = False
+        if self.daemon.comm is not None:
+            self.daemon.comm.barrier()
+        self.daemon.stop()
+
+    def __enter__(self) -> "FanStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        return self.daemon.rank
+
+    @property
+    def size(self) -> int:
+        return self.daemon.size
+
+    @property
+    def num_files(self) -> int:
+        return len(self.daemon.metadata)
+
+    def resolve(self, path: str) -> str:
+        """Strip the mount point from an absolute path (§V-A: directory
+        ``dir/cate1/file1`` is accessible as ``/fs/dir/cate1/file1``)."""
+        if path.startswith(self.mount_point + "/"):
+            return path[len(self.mount_point) + 1 :]
+        if path == self.mount_point:
+            return ""
+        return path
+
+    def verify_integrity(self, sample: int | None = None) -> int:
+        """Decompress (up to ``sample``) files and check sizes against
+        their stat records; returns the number verified. A post-load
+        health check used by tests and the quickstart."""
+        checked = 0
+        for record in self.daemon.metadata.walk_files():
+            if sample is not None and checked >= sample:
+                break
+            if record.home_rank != self.rank and self.daemon.comm is None:
+                continue
+            data = self.client.read_file(record.path)
+            if len(data) != record.stat.st_size:
+                raise FanStoreError(
+                    f"{record.path}: integrity check failed "
+                    f"({len(data)} != {record.stat.st_size})"
+                )
+            checked += 1
+        return checked

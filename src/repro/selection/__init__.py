@@ -1,0 +1,38 @@
+"""Compressor selection (§VI): Equations 1–3, profiling inputs, and the
+paper's three case studies."""
+
+from repro.selection.cases import ALL_CASES, SelectionCase, get_case
+from repro.selection.model import (
+    CompressorCandidate,
+    CompressorSelector,
+    IoPerformance,
+    SelectionInputs,
+    SelectionResult,
+    Verdict,
+    t_read,
+)
+from repro.selection.profiling import (
+    DecompressionProfile,
+    candidate_from_profile,
+    measure_client_read,
+    model_read_performance,
+    profile_compressor,
+)
+
+__all__ = [
+    "CompressorSelector",
+    "SelectionInputs",
+    "SelectionResult",
+    "CompressorCandidate",
+    "IoPerformance",
+    "Verdict",
+    "t_read",
+    "DecompressionProfile",
+    "profile_compressor",
+    "candidate_from_profile",
+    "measure_client_read",
+    "model_read_performance",
+    "SelectionCase",
+    "ALL_CASES",
+    "get_case",
+]

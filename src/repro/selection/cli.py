@@ -1,0 +1,72 @@
+"""CLI for the selection algorithm: ``fanstore-select CASE``.
+
+Prints the Table VII-style audit for one of the paper's case studies,
+or for custom inputs supplied as flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.selection.cases import ALL_CASES, get_case
+from repro.selection.model import CompressorSelector
+from repro.util.units import format_seconds
+
+
+def run_case(name: str) -> str:
+    """Execute one case study; returns the printable report."""
+    case = get_case(name)
+    selector = CompressorSelector(case.inputs)
+    result = selector.select(case.candidates())
+    lines = [
+        f"case {case.name}: {case.app} on {case.cluster} "
+        f"({case.inputs.io_mode} I/O, dataset {case.dataset})",
+        f"{'compressor':<10} {'ratio':>6} {'d.cost':>12} {'budget':>12} "
+        f"{'perf':>5} {'cap':>4}",
+    ]
+    for v in result.verdicts:
+        lines.append(
+            f"{v.candidate.name:<10} {v.candidate.ratio:>6.1f} "
+            f"{format_seconds(v.candidate.decompress_cost):>12} "
+            f"{format_seconds(max(v.budget_per_file, 0.0)):>12} "
+            f"{'ok' if v.meets_performance else 'NO':>5} "
+            f"{'ok' if v.meets_capacity else 'NO':>4}"
+        )
+    if result.selected is not None:
+        picked = result.selected.name
+    elif result.fallback is not None:
+        frac = selector.performance_fraction(result.fallback)
+        picked = (
+            f"(none strict) fallback {result.fallback.name} "
+            f"at {frac:.1%} of baseline"
+        )
+    else:
+        picked = "(none)"
+    lines.append(f"selected: {picked}   (paper: {case.expected_selection})")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="fanstore-select",
+        description="Run the §VI-B compressor-selection algorithm.",
+    )
+    parser.add_argument(
+        "case",
+        nargs="?",
+        default=None,
+        choices=sorted(ALL_CASES),
+        help="paper case study to run (default: all)",
+    )
+    args = parser.parse_args(argv)
+    names = [args.case] if args.case else sorted(ALL_CASES)
+    for name in names:
+        print(run_case(name))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""Selection sensitivity sweeps: the operating envelope of §VI-B.
+
+The paper evaluates its algorithm at three operating points; production
+use needs the whole map — *which compressor wins as iteration time,
+file size, or hardware changes, and where are the crossovers?* These
+helpers sweep Equations 1–3 across parameter ranges and locate the
+boundaries (e.g. the T_iter below which lzsse8 stops qualifying on a
+V100-class machine — the §VII-E3 situation made into a curve).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import SelectionError
+from repro.selection.model import (
+    CompressorCandidate,
+    CompressorSelector,
+    SelectionInputs,
+)
+
+
+@dataclass(frozen=True)
+class EnvelopePoint:
+    """One cell of the operating map."""
+
+    t_iter: float
+    winner: str | None  # strict winner or fallback name; None = raw
+    strict: bool
+    budget_per_file: float  # at the winner's ratio (or 2.0 if none)
+
+
+def sweep_t_iter(
+    base: SelectionInputs,
+    candidates: Sequence[CompressorCandidate],
+    t_iters: Sequence[float],
+) -> list[EnvelopePoint]:
+    """The selection outcome as iteration time varies (faster models /
+    better accelerators shrink T_iter; §VII-E3 is the fast end)."""
+    if not t_iters:
+        raise SelectionError("need at least one t_iter")
+    points = []
+    for t_iter in t_iters:
+        inputs = dataclasses.replace(base, t_iter=t_iter)
+        selector = CompressorSelector(inputs)
+        result = selector.select(candidates)
+        choice = result.choice
+        ratio = choice.ratio if choice else 2.0
+        points.append(
+            EnvelopePoint(
+                t_iter=t_iter,
+                winner=choice.name if choice else None,
+                strict=result.selected is not None,
+                budget_per_file=selector.budget_per_file(ratio),
+            )
+        )
+    return points
+
+
+def crossover_t_iter(
+    base: SelectionInputs,
+    candidates: Sequence[CompressorCandidate],
+    *,
+    lo: float = 1e-3,
+    hi: float = 100.0,
+    tolerance: float = 1e-3,
+) -> float | None:
+    """Smallest T_iter at which a *strict* winner exists (async mode),
+    located by bisection; None when even ``hi`` admits nobody.
+
+    For async I/O the budget grows monotonically with T_iter, so the
+    qualification boundary is a single point.
+    """
+    if base.io_mode != "async":
+        raise SelectionError("crossover_t_iter applies to async inputs")
+
+    def qualifies(t_iter: float) -> bool:
+        inputs = dataclasses.replace(base, t_iter=t_iter)
+        return CompressorSelector(inputs).select(candidates).selected is not None
+
+    if not qualifies(hi):
+        return None
+    if qualifies(lo):
+        return lo
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if qualifies(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def winner_map(
+    base: SelectionInputs,
+    candidates: Sequence[CompressorCandidate],
+    t_iters: Sequence[float],
+) -> dict[str, list[float]]:
+    """Group the sweep by winner: name → the T_iters it wins at."""
+    regions: dict[str, list[float]] = {}
+    for point in sweep_t_iter(base, candidates, t_iters):
+        key = point.winner or "(raw)"
+        regions.setdefault(key, []).append(point.t_iter)
+    return regions

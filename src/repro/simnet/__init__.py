@@ -1,0 +1,55 @@
+"""Discrete-event simulation substrate.
+
+Replaces the paper's physical testbeds: an event engine
+(:mod:`~repro.simnet.events`), analytic storage-device models calibrated
+to the paper's Table III/VI measurements (:mod:`~repro.simnet.devices`),
+and α–β interconnect models for the FDR-IB and Omni-Path fabrics
+(:mod:`~repro.simnet.network`).
+"""
+
+from repro.simnet.devices import (
+    TABLE3_SIZES,
+    StorageModel,
+    fanstore_local,
+    fuse_over_ssd,
+    lustre,
+    ram_disk,
+    ram_disk_power9,
+    ssd,
+)
+from repro.simnet.events import (
+    AllOf,
+    Barrier,
+    Event,
+    Process,
+    Resource,
+    Simulator,
+    Timeout,
+)
+from repro.simnet.network import InterconnectModel, fdr_infiniband, omni_path
+from repro.simnet.trace import IoTrace, TraceEvent, TraceRecorder, replay
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "Process",
+    "Resource",
+    "Barrier",
+    "StorageModel",
+    "ssd",
+    "ram_disk",
+    "ram_disk_power9",
+    "fanstore_local",
+    "fuse_over_ssd",
+    "lustre",
+    "TABLE3_SIZES",
+    "InterconnectModel",
+    "fdr_infiniband",
+    "omni_path",
+    "IoTrace",
+    "TraceEvent",
+    "TraceRecorder",
+    "replay",
+]

@@ -1,0 +1,258 @@
+"""A compact generator-based discrete-event simulation engine.
+
+The paper's evaluation runs on physical clusters (GTX/V100/CPU, §VII-A);
+this engine is the substitute substrate: node behaviours are coroutines
+(generators) that ``yield`` events — timeouts, resource grants, barrier
+releases — and the simulator advances virtual time between them. The
+scaling experiments (Figure 9) run 512 simulated nodes through it.
+
+The design follows the classic event-list pattern (and simpy's user
+model): a heap of ``(time, seq, event)``, processes as generators, and
+resources with FIFO grant queues. It is deliberately small, fully
+deterministic, and has no real-time component.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event is *triggered* at most once, carrying an optional value;
+    triggering schedules its callbacks (waiting processes) at the
+    current simulation time.
+    """
+
+    __slots__ = ("sim", "triggered", "value", "_callbacks")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.triggered = False
+        self.value: Any = None
+        self._callbacks: list[Callable[[Event], None]] = []
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event now; waiting processes resume at the same time."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Register a callback; fires immediately if already triggered."""
+        if self.triggered:
+            cb(self)
+        else:
+            self._callbacks.append(cb)
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` simulated seconds in the future."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        super().__init__(sim)
+        sim._schedule(delay, self, value)
+
+
+class AllOf(Event):
+    """Triggers once every constituent event has triggered."""
+
+    __slots__ = ("_pending",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        events = list(events)
+        self._pending = len(events)
+        if self._pending == 0:
+            sim._schedule(0.0, self, None)
+            return
+        for ev in events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, _ev: Event) -> None:
+        self._pending -= 1
+        if self._pending == 0 and not self.triggered:
+            self.trigger()
+
+
+class Process(Event):
+    """Drives a generator; is itself an event that triggers on return.
+
+    The generator yields :class:`Event` instances; each yield suspends
+    the process until that event triggers, at which point the event's
+    value is sent back into the generator.
+    """
+
+    __slots__ = ("_gen",)
+
+    def __init__(self, sim: "Simulator", gen: Generator[Event, Any, Any]) -> None:
+        super().__init__(sim)
+        self._gen = gen
+        # Start the process at the current time via a zero-delay event so
+        # creation order does not interleave with the caller's frame.
+        start = Event(sim)
+        start.add_callback(self._resume)
+        sim._schedule(0.0, start, None)
+
+    def _resume(self, ev: Event) -> None:
+        try:
+            target = self._gen.send(ev.value)
+        except StopIteration as stop:
+            self.trigger(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {type(target).__name__}, expected Event"
+            )
+        target.add_callback(self._resume)
+
+
+class Resource:
+    """A counted resource with a FIFO wait queue (e.g. an I/O channel).
+
+    ``request()`` returns an event that triggers when a slot is granted;
+    the holder must call ``release()`` exactly once per grant.
+    """
+
+    __slots__ = ("sim", "capacity", "_in_use", "_waiters")
+
+    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: list[Event] = []
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        ev = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            self.sim._schedule(0.0, ev, None)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError("release without matching request")
+        if self._waiters:
+            ev = self._waiters.pop(0)
+            self.sim._schedule(0.0, ev, None)
+        else:
+            self._in_use -= 1
+
+
+class Barrier:
+    """An N-party synchronization point, reusable across rounds.
+
+    Models MPI barriers/allreduce rendezvous: the ``parties``-th arrival
+    releases everyone. ``wait()`` returns the event for this round.
+    """
+
+    __slots__ = ("sim", "parties", "_arrived", "_event")
+
+    def __init__(self, sim: "Simulator", parties: int) -> None:
+        if parties < 1:
+            raise SimulationError(f"parties must be >= 1, got {parties}")
+        self.sim = sim
+        self.parties = parties
+        self._arrived = 0
+        self._event = Event(sim)
+
+    def wait(self) -> Event:
+        self._arrived += 1
+        event = self._event
+        if self._arrived == self.parties:
+            self._arrived = 0
+            self._event = Event(self.sim)
+            event.trigger()
+        return event
+
+
+class Simulator:
+    """The event loop: a time-ordered heap of pending events."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Event, Any]] = []
+        self._seq = 0
+
+    # -- scheduling -----------------------------------------------------
+
+    def _schedule(self, delay: float, event: Event, value: Any) -> None:
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event, value))
+        self._seq += 1
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event triggering ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """A bare event to be triggered manually."""
+        return Event(self)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """An event triggering when all ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def process(self, gen: Generator[Event, Any, Any]) -> Process:
+        """Register a generator as a process; returns its completion event."""
+        return Process(self, gen)
+
+    def resource(self, capacity: int = 1) -> Resource:
+        return Resource(self, capacity)
+
+    def barrier(self, parties: int) -> Barrier:
+        return Barrier(self, parties)
+
+    # -- execution ------------------------------------------------------
+
+    def step(self) -> bool:
+        """Dispatch the earliest pending event; False when none remain."""
+        while self._heap:
+            time_, _, event, value = heapq.heappop(self._heap)
+            if event.triggered:
+                continue  # superseded (e.g. AllOf child raced completion)
+            if time_ < self.now:
+                raise SimulationError("time went backwards")
+            self.now = time_
+            event.trigger(value)
+            return True
+        return False
+
+    def run(self, until: float | None = None) -> float:
+        """Run to quiescence, or until simulated time ``until``.
+
+        Returns the final simulation time.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(f"until={until} is in the past (now={self.now})")
+        while self._heap:
+            next_time = self._heap[0][0]
+            if until is not None and next_time > until:
+                self.now = until
+                return self.now
+            if not self.step():
+                break
+        return self.now

@@ -1,0 +1,105 @@
+"""Interconnect performance models.
+
+Point-to-point transfers follow the postal (α–β) model
+``t = latency + size/bandwidth``; collectives use the standard
+algorithm-aware cost formulas (recursive-doubling / ring) that MPI
+implementations realize. Constants match the paper's fabrics: Mellanox
+FDR InfiniBand (56 Gb/s, sub-µs latency; GTX and V100 clusters) and
+Intel Omni-Path (100 Gb/s; the CPU cluster).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.util.units import GB
+
+
+@dataclass(frozen=True)
+class InterconnectModel:
+    """α–β fabric model with an optional per-node injection ceiling."""
+
+    name: str
+    latency: float  # α: one-way small-message latency (s)
+    bandwidth: float  # β⁻¹: per-link payload bandwidth (bytes/s)
+    injection_bandwidth: float = 0.0  # per-node NIC ceiling; 0 = link rate
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise SimulationError(f"{self.name}: negative latency")
+        if self.bandwidth <= 0:
+            raise SimulationError(f"{self.name}: bandwidth must be positive")
+
+    @property
+    def node_bandwidth(self) -> float:
+        return self.injection_bandwidth or self.bandwidth
+
+    # -- point to point ---------------------------------------------------
+
+    def p2p_time(self, size: int) -> float:
+        """One message of ``size`` bytes between two nodes."""
+        if size < 0:
+            raise SimulationError(f"negative size {size}")
+        return self.latency + size / self.bandwidth
+
+    # -- collectives -------------------------------------------------------
+
+    def allgather_time(self, per_rank_bytes: int, nodes: int) -> float:
+        """Ring allgather: each node receives (N−1) blocks in N−1 steps.
+
+        This is the §V-D metadata-broadcast cost.
+        """
+        if nodes < 1:
+            raise SimulationError(f"nodes must be >= 1, got {nodes}")
+        if nodes == 1:
+            return 0.0
+        steps = nodes - 1
+        return steps * (self.latency + per_rank_bytes / self.bandwidth)
+
+    def allreduce_time(self, message_bytes: int, nodes: int) -> float:
+        """Rabenseifner/ring allreduce: ≈ 2·log₂N latency terms plus
+        2·(N−1)/N of the payload through each NIC — the gradient-exchange
+        cost in each training iteration."""
+        if nodes < 1:
+            raise SimulationError(f"nodes must be >= 1, got {nodes}")
+        if nodes == 1:
+            return 0.0
+        lat = 2.0 * math.ceil(math.log2(nodes)) * self.latency
+        bw = 2.0 * (nodes - 1) / nodes * message_bytes / self.node_bandwidth
+        return lat + bw
+
+    def broadcast_time(self, message_bytes: int, nodes: int) -> float:
+        """Binomial-tree broadcast."""
+        if nodes < 1:
+            raise SimulationError(f"nodes must be >= 1, got {nodes}")
+        if nodes == 1:
+            return 0.0
+        return math.ceil(math.log2(nodes)) * self.p2p_time(message_bytes)
+
+    def ring_shift_time(self, block_bytes: int) -> float:
+        """One neighbor-to-neighbor block transfer in the §V-D virtual
+        ring used for loading extra partitions; by construction the ring
+        is contention-free so this is a single p2p message."""
+        return self.p2p_time(block_bytes)
+
+
+def fdr_infiniband() -> InterconnectModel:
+    """Mellanox FDR: 56 Gb/s signaling ⇒ ~6.8 GB/s payload, ~0.7 µs."""
+    return InterconnectModel(
+        name="fdr-ib",
+        latency=0.7e-6,
+        bandwidth=6.8 * GB,
+        injection_bandwidth=6.0 * GB,
+    )
+
+
+def omni_path() -> InterconnectModel:
+    """Intel OPA: 100 Gb/s ⇒ ~12.3 GB/s payload, ~0.9 µs, fat tree."""
+    return InterconnectModel(
+        name="opa",
+        latency=0.9e-6,
+        bandwidth=12.3 * GB,
+        injection_bandwidth=11.0 * GB,
+    )

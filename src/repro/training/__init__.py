@@ -1,0 +1,58 @@
+"""Training substrate: loaders, models, the functional data-parallel
+trainer, application profiles (Table V), and the cluster-scale
+simulation behind Figures 8–9."""
+
+from repro.training.apps import APPLICATIONS, AppProfile, frnn, get_app, resnet50, srgan
+from repro.training.loader import (
+    AsyncLoader,
+    Batch,
+    SyncLoader,
+    identity_decoder,
+    list_training_files,
+)
+from repro.training.models import (
+    LSTMClassifier,
+    MLP,
+    flatten,
+    softmax_cross_entropy,
+    unflatten_into,
+)
+from repro.training.simulate import (
+    PROFILE_NODES,
+    SimJob,
+    SimReport,
+    simulate_run,
+    weak_scaling_sweep,
+)
+from repro.training.trainer import (
+    DataParallelTrainer,
+    TrainReport,
+    make_array_collate,
+)
+
+__all__ = [
+    "SyncLoader",
+    "AsyncLoader",
+    "Batch",
+    "identity_decoder",
+    "list_training_files",
+    "MLP",
+    "LSTMClassifier",
+    "flatten",
+    "unflatten_into",
+    "softmax_cross_entropy",
+    "DataParallelTrainer",
+    "TrainReport",
+    "make_array_collate",
+    "AppProfile",
+    "APPLICATIONS",
+    "get_app",
+    "srgan",
+    "frnn",
+    "resnet50",
+    "SimJob",
+    "SimReport",
+    "simulate_run",
+    "weak_scaling_sweep",
+    "PROFILE_NODES",
+]

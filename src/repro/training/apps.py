@@ -1,0 +1,109 @@
+"""Application profiles (§VII-B, Table V).
+
+Each profile carries what the I/O system and the performance model see
+of a training application: batch geometry, bytes per batch, iteration
+compute time per cluster (measured by the paper with data on RAM disk,
+i.e. I/O-free), I/O mode, gradient size for the allreduce model, and the
+dataset it trains on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.util.units import KB, MB
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """One DL application as the experiments parameterize it."""
+
+    name: str
+    dataset: str  # repro.datasets key
+    io_mode: str  # "sync" or "async"
+    c_batch: int  # files per iteration (global batch)
+    s_batch_bytes: float  # uncompressed bytes per iteration (S'_batch)
+    t_iter_by_cluster: dict  # cluster name -> seconds (RAM-disk compute)
+    gradient_bytes: int  # allreduce message size per iteration
+    epochs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.io_mode not in ("sync", "async"):
+            raise ReproError(f"{self.name}: bad io_mode {self.io_mode}")
+        if self.c_batch < 1:
+            raise ReproError(f"{self.name}: c_batch must be >= 1")
+
+    def t_iter(self, cluster: str) -> float:
+        try:
+            return self.t_iter_by_cluster[cluster]
+        except KeyError:
+            raise ReproError(
+                f"{self.name} has no T_iter for cluster {cluster!r}"
+            ) from None
+
+    @property
+    def avg_file_bytes(self) -> float:
+        return self.s_batch_bytes / self.c_batch
+
+
+def srgan() -> AppProfile:
+    """SRGAN super-resolving EM micrographs (sync I/O; Table V rows 1–2).
+
+    Generator+discriminator ≈ 1.5 M parameters ⇒ ~6 MB gradients."""
+    return AppProfile(
+        name="SRGAN",
+        dataset="em",
+        io_mode="sync",
+        c_batch=256,
+        s_batch_bytes=410 * MB,
+        t_iter_by_cluster={"GTX": 9.689, "V100": 2.416},
+        gradient_bytes=6 * MB,
+        epochs=2000,
+    )
+
+
+def frnn() -> AppProfile:
+    """FRNN predicting tokamak disruptions with an LSTM (async I/O;
+    Table V row 3). LSTM stacks are a few M parameters ⇒ ~12 MB."""
+    return AppProfile(
+        name="FRNN",
+        dataset="tokamak",
+        io_mode="async",
+        c_batch=512,
+        s_batch_bytes=615 * KB,
+        t_iter_by_cluster={"CPU": 0.655},
+        gradient_bytes=12 * MB,
+    )
+
+
+def resnet50() -> AppProfile:
+    """ResNet-50 on ImageNet-1k (async pipelines in TF; §VII-F).
+
+    25.6 M parameters ⇒ ~102 MB gradients; batch 256 ⇒ ~100 KB × 256
+    ≈ 26 MB per iteration. Per-iteration times estimated from the
+    paper's scaling baselines (batch 256 on 4 GPUs ≈ 0.9 s on GTX;
+    CPU nodes are ~3× slower per node)."""
+    return AppProfile(
+        name="ResNet-50",
+        dataset="imagenet",
+        io_mode="async",
+        c_batch=256,
+        s_batch_bytes=26 * MB,
+        t_iter_by_cluster={"GTX": 0.9, "CPU": 2.7},
+        gradient_bytes=102 * MB,
+        epochs=90,
+    )
+
+
+APPLICATIONS = {"SRGAN": srgan, "FRNN": frnn, "ResNet-50": resnet50}
+
+
+def get_app(name: str) -> AppProfile:
+    """Look up an application profile by its paper name."""
+    try:
+        return APPLICATIONS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; choose from {sorted(APPLICATIONS)}"
+        ) from None

@@ -1,0 +1,252 @@
+"""Small numpy neural networks for the functional end-to-end examples.
+
+The paper's applications (SRGAN, FRNN's LSTM, ResNet-50) run on
+TensorFlow; the I/O system only observes them as "compute for T_iter,
+then exchange gradients". For the *functional* demos we still train
+real (tiny) models so the full loop — FanStore read → decode → forward/
+backward → allreduce → update → checkpoint — runs with real numbers:
+
+- :class:`MLP` — fully connected classifier (softmax cross-entropy),
+  the ResNet-50 stand-in for image-classification demos.
+- :class:`LSTMClassifier` — a single-cell LSTM over short sequences,
+  the FRNN stand-in for disruption prediction.
+
+Both expose the flat-parameter/flat-gradient interface the data-
+parallel trainer needs for allreduce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    z = z - z.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean loss and d(loss)/d(logits) for integer ``labels``."""
+    if logits.ndim != 2:
+        raise ReproError(f"logits must be 2-D, got shape {logits.shape}")
+    n = logits.shape[0]
+    probs = _softmax(logits)
+    loss = float(-np.log(probs[np.arange(n), labels] + 1e-12).mean())
+    grad = probs
+    grad[np.arange(n), labels] -= 1.0
+    return loss, grad / n
+
+
+class MLP:
+    """Fully connected ReLU network with SGD and flat-gradient access."""
+
+    def __init__(self, sizes: list[int], *, seed: int = 0) -> None:
+        if len(sizes) < 2:
+            raise ReproError("MLP needs at least input and output sizes")
+        rng = np.random.default_rng(seed)
+        self.sizes = list(sizes)
+        self.weights = [
+            rng.standard_normal((a, b)).astype(np.float64) * np.sqrt(2.0 / a)
+            for a, b in zip(sizes[:-1], sizes[1:])
+        ]
+        self.biases = [np.zeros(b) for b in sizes[1:]]
+        self._cache: list[np.ndarray] = []
+
+    # -- forward/backward --------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Logits for a (batch, features) input; caches activations."""
+        self._cache = [x]
+        h = x
+        last = len(self.weights) - 1
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            h = h @ w + b
+            if i != last:
+                h = np.maximum(h, 0.0)
+            self._cache.append(h)
+        return h
+
+    def backward(self, grad_logits: np.ndarray) -> list[np.ndarray]:
+        """Gradients (interleaved dW, db per layer) via backprop."""
+        grads: list[np.ndarray] = []
+        delta = grad_logits
+        for i in reversed(range(len(self.weights))):
+            a_prev = self._cache[i]
+            grads.append(delta.sum(axis=0))  # db
+            grads.append(a_prev.T @ delta)  # dW
+            if i > 0:
+                delta = delta @ self.weights[i].T
+                delta[self._cache[i] <= 0.0] = 0.0
+        grads.reverse()
+        return grads
+
+    def loss_and_gradients(
+        self, x: np.ndarray, labels: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """One training step's loss and FLAT gradient vector."""
+        logits = self.forward(x)
+        loss, grad_logits = softmax_cross_entropy(logits, labels)
+        return loss, flatten(self.backward(grad_logits))
+
+    # -- parameter plumbing ----------------------------------------------------
+
+    def _param_list(self) -> list[np.ndarray]:
+        out = []
+        for w, b in zip(self.weights, self.biases):
+            out.extend([w, b])
+        return out
+
+    def get_flat_params(self) -> np.ndarray:
+        return flatten(self._param_list())
+
+    def set_flat_params(self, flat: np.ndarray) -> None:
+        unflatten_into(flat, self._param_list())
+
+    def apply_gradients(self, flat_grads: np.ndarray, lr: float) -> None:
+        """Plain SGD update from a flat gradient vector."""
+        params = self._param_list()
+        offset = 0
+        for p in params:
+            n = p.size
+            p -= lr * flat_grads[offset : offset + n].reshape(p.shape)
+            offset += n
+
+    @property
+    def num_params(self) -> int:
+        return sum(p.size for p in self._param_list())
+
+
+class LSTMClassifier:
+    """One LSTM cell unrolled over a sequence, plus a linear head.
+
+    Gradients are computed by full backprop-through-time; small on
+    purpose (FRNN-flavoured demos over ~dozens of timesteps).
+    """
+
+    def __init__(
+        self, input_size: int, hidden_size: int, num_classes: int, *, seed: int = 0
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        z = input_size + hidden_size
+        scale = 1.0 / np.sqrt(z)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        # Gate weights packed [i, f, o, g] along the output axis.
+        self.w_gates = rng.standard_normal((z, 4 * hidden_size)) * scale
+        self.b_gates = np.zeros(4 * hidden_size)
+        self.b_gates[hidden_size : 2 * hidden_size] = 1.0  # forget-gate bias
+        self.w_head = rng.standard_normal((hidden_size, num_classes)) * scale
+        self.b_head = np.zeros(num_classes)
+        self._cache: dict | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Logits for a (batch, time, features) input."""
+        if x.ndim != 3 or x.shape[2] != self.input_size:
+            raise ReproError(f"expected (B, T, {self.input_size}), got {x.shape}")
+        batch, steps, _ = x.shape
+        hs = self.hidden_size
+        h = np.zeros((batch, hs))
+        c = np.zeros((batch, hs))
+        cache = {"x": x, "h": [h], "c": [c], "gates": []}
+        for t in range(steps):
+            zcat = np.concatenate([x[:, t, :], h], axis=1)
+            pre = zcat @ self.w_gates + self.b_gates
+            i = _sigmoid(pre[:, :hs])
+            f = _sigmoid(pre[:, hs : 2 * hs])
+            o = _sigmoid(pre[:, 2 * hs : 3 * hs])
+            g = np.tanh(pre[:, 3 * hs :])
+            c = f * c + i * g
+            h = o * np.tanh(c)
+            cache["gates"].append((zcat, i, f, o, g))
+            cache["h"].append(h)
+            cache["c"].append(c)
+        self._cache = cache
+        return h @ self.w_head + self.b_head
+
+    def loss_and_gradients(
+        self, x: np.ndarray, labels: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        logits = self.forward(x)
+        loss, dlogits = softmax_cross_entropy(logits, labels)
+        cache = self._cache
+        assert cache is not None
+        hs = self.hidden_size
+        h_last = cache["h"][-1]
+        d_w_head = h_last.T @ dlogits
+        d_b_head = dlogits.sum(axis=0)
+        d_w_gates = np.zeros_like(self.w_gates)
+        d_b_gates = np.zeros_like(self.b_gates)
+        dh = dlogits @ self.w_head.T
+        dc = np.zeros_like(dh)
+        steps = len(cache["gates"])
+        for t in reversed(range(steps)):
+            zcat, i, f, o, g = cache["gates"][t]
+            c_t = cache["c"][t + 1]
+            c_prev = cache["c"][t]
+            tanh_c = np.tanh(c_t)
+            do = dh * tanh_c
+            dc = dc + dh * o * (1.0 - tanh_c**2)
+            di = dc * g
+            df = dc * c_prev
+            dg = dc * i
+            dpre = np.concatenate(
+                [
+                    di * i * (1.0 - i),
+                    df * f * (1.0 - f),
+                    do * o * (1.0 - o),
+                    dg * (1.0 - g**2),
+                ],
+                axis=1,
+            )
+            d_w_gates += zcat.T @ dpre
+            d_b_gates += dpre.sum(axis=0)
+            dz = dpre @ self.w_gates.T
+            dh = dz[:, self.input_size :]
+            dc = dc * f
+        return loss, flatten([d_w_gates, d_b_gates, d_w_head, d_b_head])
+
+    def _param_list(self) -> list[np.ndarray]:
+        return [self.w_gates, self.b_gates, self.w_head, self.b_head]
+
+    def get_flat_params(self) -> np.ndarray:
+        return flatten(self._param_list())
+
+    def set_flat_params(self, flat: np.ndarray) -> None:
+        unflatten_into(flat, self._param_list())
+
+    def apply_gradients(self, flat_grads: np.ndarray, lr: float) -> None:
+        offset = 0
+        for p in self._param_list():
+            n = p.size
+            p -= lr * flat_grads[offset : offset + n].reshape(p.shape)
+            offset += n
+
+    @property
+    def num_params(self) -> int:
+        return sum(p.size for p in self._param_list())
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-z))
+
+
+def flatten(arrays: list[np.ndarray]) -> np.ndarray:
+    """Concatenate arrays into one flat float64 vector."""
+    return np.concatenate([a.ravel() for a in arrays]).astype(np.float64)
+
+
+def unflatten_into(flat: np.ndarray, targets: list[np.ndarray]) -> None:
+    """Scatter a flat vector back into the target arrays, in place."""
+    total = sum(t.size for t in targets)
+    if flat.size != total:
+        raise ReproError(f"flat vector has {flat.size} values, need {total}")
+    offset = 0
+    for t in targets:
+        n = t.size
+        t[...] = flat[offset : offset + n].reshape(t.shape)
+        offset += n

@@ -1,0 +1,38 @@
+"""Small shared utilities: units, statistics, deterministic RNG, timing."""
+
+from repro.util.units import (
+    KB,
+    MB,
+    GB,
+    TB,
+    KIB,
+    MIB,
+    GIB,
+    TIB,
+    format_bytes,
+    format_rate,
+    format_seconds,
+    parse_size,
+)
+from repro.util.stats import RunningStats, percentile, summarize
+from repro.util.timing import Timer, measure_throughput
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "KIB",
+    "MIB",
+    "GIB",
+    "TIB",
+    "format_bytes",
+    "format_rate",
+    "format_seconds",
+    "parse_size",
+    "RunningStats",
+    "percentile",
+    "summarize",
+    "Timer",
+    "measure_throughput",
+]

@@ -1,0 +1,140 @@
+"""Streaming and batch statistics used by benchmarks and profilers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+class RunningStats:
+    """Welford streaming mean/variance with min/max tracking.
+
+    Numerically stable for long benchmark runs; O(1) memory.
+    """
+
+    __slots__ = ("count", "_mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, x: float) -> None:
+        """Fold one sample into the accumulator."""
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    def extend(self, xs) -> None:
+        """Fold an iterable of samples."""
+        for x in xs:
+            self.add(x)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Sample (n-1) variance."""
+        if self.count < 2:
+            return math.nan
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stdev(self) -> float:
+        v = self.variance
+        return math.sqrt(v) if v == v else math.nan
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Combine two accumulators (parallel Welford merge)."""
+        merged = RunningStats()
+        n = self.count + other.count
+        if n == 0:
+            return merged
+        delta = other._mean - self._mean
+        merged.count = n
+        merged._mean = self._mean + delta * other.count / n
+        merged._m2 = (
+            self._m2 + other._m2 + delta * delta * self.count * other.count / n
+        )
+        merged.min = min(self.min, other.min)
+        merged.max = max(self.max, other.max)
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunningStats(count={self.count}, mean={self.mean:.6g}, "
+            f"stdev={self.stdev:.6g}, min={self.min:.6g}, max={self.max:.6g})"
+        )
+
+
+def percentile(samples, q: float) -> float:
+    """Linear-interpolation percentile of a sequence, ``q`` in [0, 100].
+
+    Matches numpy's default ("linear") method but avoids requiring an
+    ndarray for tiny sample sets.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    data = sorted(samples)
+    if not data:
+        raise ValueError("percentile of empty sequence")
+    if len(data) == 1:
+        return float(data[0])
+    pos = (len(data) - 1) * q / 100.0
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return float(data[lo])
+    frac = pos - lo
+    return float(data[lo]) * (1.0 - frac) + float(data[hi]) * frac
+
+
+@dataclass
+class Summary:
+    """Batch summary of a sample set."""
+
+    count: int
+    mean: float
+    stdev: float
+    min: float
+    p50: float
+    p95: float
+    max: float
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "min": self.min,
+            "p50": self.p50,
+            "p95": self.p95,
+            "max": self.max,
+        }
+
+
+def summarize(samples) -> Summary:
+    """Compute a :class:`Summary` over a non-empty sample sequence."""
+    data = list(samples)
+    if not data:
+        raise ValueError("summarize of empty sequence")
+    rs = RunningStats()
+    rs.extend(data)
+    return Summary(
+        count=rs.count,
+        mean=rs.mean,
+        stdev=rs.stdev if rs.count > 1 else 0.0,
+        min=rs.min,
+        p50=percentile(data, 50.0),
+        p95=percentile(data, 95.0),
+        max=rs.max,
+    )

@@ -1,0 +1,57 @@
+"""Wall-clock measurement helpers for the real (non-modeled) benchmarks."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed > 0
+    True
+    """
+
+    __slots__ = ("start", "elapsed")
+
+    def __init__(self) -> None:
+        self.start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self.start
+
+
+def measure_throughput(
+    fn: Callable[[], int],
+    *,
+    min_time: float = 0.2,
+    min_calls: int = 3,
+    max_calls: int = 10_000,
+) -> tuple[float, float]:
+    """Repeatedly call ``fn`` (which returns bytes processed per call) until
+    ``min_time`` seconds have elapsed, and return
+    ``(calls_per_second, bytes_per_second)``.
+
+    Used to estimate ``Tpt_decom`` (files/s) and byte bandwidth of codecs
+    on this host, the measured inputs to the selection algorithm.
+    """
+    calls = 0
+    total_bytes = 0
+    start = time.perf_counter()
+    elapsed = 0.0
+    while (elapsed < min_time or calls < min_calls) and calls < max_calls:
+        total_bytes += fn()
+        calls += 1
+        elapsed = time.perf_counter() - start
+    if elapsed <= 0.0:
+        # Sub-resolution run: report a floor rather than infinity.
+        elapsed = 1e-9
+    return calls / elapsed, total_bytes / elapsed

@@ -1,0 +1,117 @@
+"""Byte-size and rate units and human-readable formatting.
+
+The paper mixes decimal (MB/s bandwidth figures) and binary (file sizes
+like 512 KB test files) conventions; we expose both and are explicit at
+every use site.
+"""
+
+from __future__ import annotations
+
+import re
+
+# Decimal units (used for bandwidth: MB/s in the paper's tables).
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+
+# Binary units (used for file and buffer sizes).
+KIB = 1 << 10
+MIB = 1 << 20
+GIB = 1 << 30
+TIB = 1 << 40
+
+_SIZE_RE = re.compile(
+    r"^\s*(?P<num>\d+(?:\.\d+)?)\s*(?P<unit>[KMGT]?i?B?)\s*$", re.IGNORECASE
+)
+
+_UNIT_FACTORS = {
+    "": 1,
+    "B": 1,
+    "KB": KB,
+    "MB": MB,
+    "GB": GB,
+    "TB": TB,
+    "KIB": KIB,
+    "MIB": MIB,
+    "GIB": GIB,
+    "TIB": TIB,
+    "K": KB,
+    "M": MB,
+    "G": GB,
+    "T": TB,
+}
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human size string like ``"512 KiB"`` or ``"1.5GB"`` to bytes.
+
+    Integers and floats pass through (rounded to int). Unit letters are
+    case-insensitive; a trailing ``iB`` selects binary multiples.
+
+    >>> parse_size("512 KiB")
+    524288
+    >>> parse_size("2MB")
+    2000000
+    """
+    if isinstance(text, (int, float)):
+        return int(text)
+    m = _SIZE_RE.match(text)
+    if not m:
+        raise ValueError(f"unparseable size: {text!r}")
+    unit = m.group("unit").upper()
+    try:
+        factor = _UNIT_FACTORS[unit]
+    except KeyError:
+        raise ValueError(f"unknown unit in size: {text!r}") from None
+    return int(float(m.group("num")) * factor)
+
+
+def format_bytes(n: int | float, *, binary: bool = True) -> str:
+    """Render a byte count with an appropriate unit suffix.
+
+    >>> format_bytes(524288)
+    '512.0 KiB'
+    >>> format_bytes(2_000_000, binary=False)
+    '2.0 MB'
+    """
+    step = 1024.0 if binary else 1000.0
+    suffixes = (
+        ["B", "KiB", "MiB", "GiB", "TiB", "PiB"]
+        if binary
+        else ["B", "KB", "MB", "GB", "TB", "PB"]
+    )
+    value = float(n)
+    for suffix in suffixes:
+        if abs(value) < step or suffix == suffixes[-1]:
+            if suffix == "B":
+                return f"{int(value)} B"
+            return f"{value:.1f} {suffix}"
+        value /= step
+    raise AssertionError("unreachable")
+
+
+def format_rate(bytes_per_second: float) -> str:
+    """Render a bandwidth in decimal units, matching the paper's MB/s.
+
+    >>> format_rate(4_969_000_000 / 1000)
+    '5.0 MB/s'
+    """
+    return f"{format_bytes(bytes_per_second, binary=False)}/s"
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration with µs/ms/s scaling.
+
+    >>> format_seconds(0.000852)
+    '852.0 µs'
+    """
+    if seconds < 0:
+        return f"-{format_seconds(-seconds)}"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 60.0:.1f} min"

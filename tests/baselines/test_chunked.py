@@ -1,0 +1,123 @@
+"""The chunk-permute baseline: partial views, ring permutation,
+eventual coverage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.chunked import ChunkedStore
+from repro.comm.launcher import run_parallel
+from repro.errors import ReproError
+
+
+def make_chunk(rank: int, files_per_rank: int = 4) -> dict[str, bytes]:
+    return {
+        f"part{rank}/f{i}": f"data-{rank}-{i}".encode()
+        for i in range(files_per_rank)
+    }
+
+
+class TestLocalSampling:
+    def test_batches_come_only_from_local_chunk(self):
+        def body(comm):
+            store = ChunkedStore(comm, make_chunk(comm.rank))
+            batch = store.sample_batch(8, seed=1)
+            return all(p.startswith(f"part{comm.rank}/") for p, _ in batch)
+
+        assert all(run_parallel(body, 3, timeout=30))
+
+    def test_empty_chunk_rejected(self):
+        def body(comm):
+            store = ChunkedStore(comm, {})
+            store.sample_batch(1)
+
+        from repro.comm.launcher import ParallelFailure
+
+        with pytest.raises(ParallelFailure):
+            run_parallel(body, 2, timeout=30)
+
+    def test_bad_permute_every(self):
+        def body(comm):
+            ChunkedStore(comm, make_chunk(comm.rank), permute_every=0)
+
+        from repro.comm.launcher import ParallelFailure
+
+        with pytest.raises(ParallelFailure):
+            run_parallel(body, 2, timeout=30)
+
+
+class TestPermutation:
+    def test_ring_shift_moves_chunks(self):
+        def body(comm):
+            store = ChunkedStore(comm, make_chunk(comm.rank))
+            store.permute()
+            owners = {p.split("/")[0] for p in store.local_paths()}
+            return owners
+
+        results = run_parallel(body, 3, timeout=30)
+        # each rank now holds its left neighbor's chunk
+        assert results[0] == {"part2"}
+        assert results[1] == {"part0"}
+        assert results[2] == {"part1"}
+
+    def test_end_epoch_triggers_on_schedule(self):
+        def body(comm):
+            store = ChunkedStore(comm, make_chunk(comm.rank), permute_every=2)
+            fired = [store.end_epoch() for _ in range(5)]
+            return (fired, store.stats.permutations)
+
+        results = run_parallel(body, 2, timeout=30)
+        for fired, permutations in results:
+            assert fired == [False, True, False, True, False]
+            assert permutations == 2
+
+    def test_permutation_traffic_accounted(self):
+        def body(comm):
+            store = ChunkedStore(comm, make_chunk(comm.rank))
+            bytes_before = store.stats.permuted_bytes
+            store.permute()
+            return store.stats.permuted_bytes - bytes_before
+
+        moved = run_parallel(body, 2, timeout=30)
+        assert all(m > 0 for m in moved)
+
+    def test_full_rotation_restores_global_content(self):
+        size = 3
+
+        def body(comm):
+            chunk = make_chunk(comm.rank)
+            store = ChunkedStore(comm, chunk)
+            seen = set(store.local_paths())
+            for _ in range(size - 1):
+                store.permute()
+                seen |= set(store.local_paths())
+            return sorted(seen)
+
+        results = run_parallel(body, size, timeout=30)
+        everything = sorted(
+            p for r in range(size) for p in make_chunk(r)
+        )
+        assert all(r == everything for r in results)
+
+
+class TestCoverage:
+    def test_coverage_grows_to_one(self):
+        def body(comm):
+            store = ChunkedStore(comm, make_chunk(comm.rank), permute_every=4)
+            return [store.coverage_after(e) for e in (0, 4, 8, 100)]
+
+        results = run_parallel(body, 4, timeout=30)
+        for cov in results:
+            assert cov[0] == pytest.approx(0.25)
+            assert cov[1] == pytest.approx(0.5)
+            assert cov[-1] == 1.0
+
+    def test_partial_view_is_the_tradeoff(self):
+        """The §III criticism quantified: before the first permutation a
+        node has seen only 1/N of the data, while FanStore's global view
+        is immediate."""
+        def body(comm):
+            store = ChunkedStore(comm, make_chunk(comm.rank), permute_every=4)
+            return store.coverage_after(3)
+
+        assert run_parallel(body, 4, timeout=30) == [0.25] * 4

@@ -1,0 +1,87 @@
+"""Shared-FS and FUSE baselines: aggregate contention and crossing
+overheads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.fuse import (
+    FuseLikeClient,
+    read_cost_breakdown,
+)
+from repro.baselines.sharedfs import SharedFileSystem, default_lustre
+from repro.errors import SimulationError
+from repro.util.units import KIB, MB
+
+
+class TestSharedFileSystem:
+    def test_startup_scales_with_procs_and_files(self):
+        fs = default_lustre()
+        base = fs.startup_seconds(1, 10_000)
+        assert fs.startup_seconds(96, 10_000) == pytest.approx(
+            96 * base, rel=0.05
+        )
+
+    def test_paper_512node_metadata_storm(self):
+        """512 nodes × 2 procs enumerating 1.3 M ImageNet files through
+        one MDS takes hours — the paper's non-start."""
+        fs = default_lustre()
+        t = fs.startup_seconds(512 * 2, 1_300_000, num_dirs=2_002)
+        assert t > 3600 * 24  # days — training never starts
+
+    def test_single_client_matches_device_model(self):
+        fs = default_lustre()
+        t = fs.batch_read_seconds(1, 10, 1 * MB)
+        per_file_floor = fs.client_model.read_time(1 * MB)
+        assert t >= 10 * per_file_floor
+
+    def test_aggregate_bandwidth_saturates(self):
+        fs = default_lustre()
+        tpt_small = fs.effective_files_per_second(4, 64, 1 * MB)
+        tpt_large = fs.effective_files_per_second(512, 64, 1 * MB)
+        # per-reader throughput collapses under contention
+        assert tpt_large / 512 < tpt_small / 4
+
+    def test_validation(self):
+        fs = default_lustre()
+        with pytest.raises(SimulationError):
+            fs.startup_seconds(0, 10)
+        with pytest.raises(SimulationError):
+            fs.batch_read_seconds(1, 0, 10)
+        with pytest.raises(SimulationError):
+            SharedFileSystem(client_model=fs.client_model,
+                             mds_ops_per_second=0)
+
+
+class TestFuseBreakdown:
+    def test_crossings_count(self):
+        bd = read_cost_breakdown(512 * KIB)
+        assert bd.crossings == 4  # 512 KiB / 128 KiB
+
+    def test_small_file_is_overhead_dominated(self):
+        bd = read_cost_breakdown(4 * KIB)
+        assert bd.overhead_fraction > 0.5
+
+    def test_total_matches_device_model(self):
+        from repro.simnet.devices import fuse_over_ssd
+
+        model = fuse_over_ssd()
+        bd = read_cost_breakdown(512 * KIB, model)
+        assert bd.total_seconds == pytest.approx(
+            model.read_time(512 * KIB)
+        )
+
+
+class TestFuseLikeClient:
+    def test_chunked_read_returns_same_bytes(self, single_store):
+        client = single_store.client
+        name = client.listdir("cls0000")[0]
+        fuse = FuseLikeClient(client)
+        assert fuse.read_file(f"cls0000/{name}") == client.read_file(
+            f"cls0000/{name}"
+        )
+
+    def test_stat_passthrough(self, single_store):
+        fuse = FuseLikeClient(single_store.client)
+        name = single_store.client.listdir("cls0000")[0]
+        assert fuse.stat(f"cls0000/{name}").st_size > 0

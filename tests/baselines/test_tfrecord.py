@@ -1,0 +1,94 @@
+"""The TFRecord-compatible baseline format."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.tfrecord import (
+    TFRecordReader,
+    TFRecordWriter,
+    write_tfrecord,
+)
+from repro.errors import FormatError
+
+
+@pytest.fixture()
+def records():
+    return [b"first", b"", b"third-record" * 100, bytes(500)]
+
+
+@pytest.fixture()
+def record_file(tmp_path, records):
+    path = tmp_path / "data.tfrecord"
+    offsets = write_tfrecord(path, records)
+    return path, offsets
+
+
+class TestFraming:
+    def test_sequential_roundtrip(self, record_file, records):
+        path, _ = record_file
+        assert list(TFRecordReader(path)) == records
+
+    def test_offsets_enable_random_access(self, record_file, records):
+        path, offsets = record_file
+        reader = TFRecordReader(path)
+        for off, expected in zip(reversed(offsets), reversed(records)):
+            assert reader.read_at(off) == expected
+
+    def test_framing_overhead_is_16_bytes_per_record(self, tmp_path):
+        path = tmp_path / "one.tfrecord"
+        write_tfrecord(path, [b"x" * 100])
+        assert path.stat().st_size == 100 + 8 + 4 + 4
+
+    def test_nth_sequential_scan(self, record_file, records):
+        path, _ = record_file
+        reader = TFRecordReader(path)
+        assert reader.read_nth_sequential(2) == records[2]
+
+    def test_nth_past_end_raises(self, record_file):
+        path, _ = record_file
+        with pytest.raises(FormatError):
+            TFRecordReader(path).read_nth_sequential(99)
+
+
+class TestCorruption:
+    def test_flipped_payload_bit_detected(self, tmp_path):
+        path = tmp_path / "c.tfrecord"
+        write_tfrecord(path, [b"payload-bytes"])
+        raw = bytearray(path.read_bytes())
+        raw[14] ^= 0x01  # inside the payload
+        path.write_bytes(bytes(raw))
+        with pytest.raises(FormatError):
+            list(TFRecordReader(path))
+
+    def test_flipped_length_detected(self, tmp_path):
+        path = tmp_path / "c.tfrecord"
+        write_tfrecord(path, [b"payload"])
+        raw = bytearray(path.read_bytes())
+        raw[0] ^= 0x01
+        path.write_bytes(bytes(raw))
+        with pytest.raises(FormatError):
+            list(TFRecordReader(path))
+
+    def test_truncated_file_detected(self, tmp_path):
+        path = tmp_path / "c.tfrecord"
+        write_tfrecord(path, [b"payload-bytes-here"])
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-3])
+        with pytest.raises(FormatError):
+            list(TFRecordReader(path))
+
+    def test_empty_file_yields_nothing(self, tmp_path):
+        path = tmp_path / "empty.tfrecord"
+        path.write_bytes(b"")
+        assert list(TFRecordReader(path)) == []
+
+
+class TestWriterIncremental:
+    def test_writer_returns_growing_offsets(self, tmp_path):
+        path = tmp_path / "grow.tfrecord"
+        with open(path, "wb") as fh:
+            writer = TFRecordWriter(fh)
+            offsets = [writer.write(b"abc") for _ in range(3)]
+        assert offsets == sorted(offsets)
+        assert offsets[1] - offsets[0] == 3 + 16

@@ -1,0 +1,44 @@
+"""The paper-vs-measured reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import PaperComparison, ordering_preserved, ratio_check
+
+
+class TestPaperComparison:
+    def test_render_table(self):
+        cmp_ = PaperComparison(
+            "Table III", "read throughput",
+            columns=["size", "paper", "repro"],
+        )
+        cmp_.add_row("128 KB", 28_248, 27_000.0)
+        cmp_.add_row("8 MB", 560, 588.2)
+        cmp_.add_note("modeled, calibrated constants")
+        out = cmp_.render()
+        assert "Table III" in out
+        assert "28248" in out or "28,248" in out
+        assert "note: modeled" in out
+
+    def test_row_width_checked(self):
+        cmp_ = PaperComparison("T", "d", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            cmp_.add_row(1)
+
+    def test_render_without_columns(self):
+        cmp_ = PaperComparison("Fig X", "shape only")
+        assert "Fig X" in cmp_.render()
+
+
+class TestChecks:
+    def test_ratio_check(self):
+        assert ratio_check(95.0, 100.0, tolerance=0.1)
+        assert not ratio_check(80.0, 100.0, tolerance=0.1)
+        assert ratio_check(0.0, 0.0, tolerance=0.1)
+
+    def test_ordering_preserved(self):
+        assert ordering_preserved([1.0, 3.0, 2.0], [10, 30, 20])
+        assert not ordering_preserved([1.0, 3.0, 2.0], [10, 20, 30])
+        with pytest.raises(ValueError):
+            ordering_preserved([1.0], [1.0, 2.0])

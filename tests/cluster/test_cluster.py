@@ -1,0 +1,107 @@
+"""Machine presets and the Figure 1 placement analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.machines import MACHINES, cpu, get_machine, gtx, v100
+from repro.cluster.node import MachineSpec, NodeSpec
+from repro.cluster.placement import (
+    analyze_placement,
+    max_efficient_nodes,
+    min_nodes_for_data,
+)
+from repro.errors import SimulationError
+from repro.util.units import GB
+
+
+class TestPresets:
+    def test_paper_platforms(self):
+        g = gtx()
+        assert (g.nodes, g.node.processors) == (16, 4)
+        assert g.node.burst_buffer_bytes == 60 * GB
+        assert g.node.arch == "skx"
+        v = v100()
+        assert (v.nodes, v.node.processors) == (4, 4)
+        assert v.node.arch == "power9"
+        c = cpu()
+        assert c.nodes == 512
+        assert c.interconnect.name == "opa"
+
+    def test_totals(self):
+        assert gtx().total_processors == 64
+        assert cpu().total_burst_buffer_bytes == 512 * 144 * GB
+
+    def test_get_machine_case_insensitive(self):
+        assert get_machine("gtx").name == "GTX"
+        with pytest.raises(KeyError):
+            get_machine("summit")
+        assert set(MACHINES) == {"GTX", "V100", "CPU"}
+
+    def test_subset(self):
+        sub = gtx().subset(4)
+        assert sub.nodes == 4
+        assert sub.node == gtx().node
+        with pytest.raises(SimulationError):
+            gtx().subset(17)
+
+    def test_node_validation(self):
+        with pytest.raises(SimulationError):
+            NodeSpec("bad", processors=0, processor_name="x",
+                     burst_buffer_bytes=1, storage=gtx().node.storage)
+        with pytest.raises(SimulationError):
+            MachineSpec("bad", nodes=0, node=gtx().node,
+                        interconnect=gtx().interconnect)
+
+
+class TestFigure1Analysis:
+    def test_paper_resnet_example(self):
+        """The intro's worked example: 140 GB ImageNet, 60 GB/node,
+        batch 256, 4 GPUs/node, b=128 ⇒ 3 nodes to host the data but
+        ≤ 2 GPUs fully fed ⇒ ~17 % efficiency."""
+        machine = gtx().subset(16)
+        analysis = analyze_placement(
+            machine,
+            140 * GB,
+            max_batch=256,
+            min_per_processor_batch=128,
+        )
+        assert analysis.min_nodes_capacity == 3
+        assert analysis.chosen_nodes == 3
+        assert analysis.utilization == pytest.approx(2 / 12, abs=0.01)
+        assert not analysis.feasible_without_tradeoff
+
+    def test_compression_moves_the_bound(self):
+        """Compression at 2.4× shrinks 140 GB under one node's worth of
+        neighbors: min nodes drops from 3 to 1 and utilization recovers."""
+        machine = gtx()
+        packed = analyze_placement(
+            machine,
+            140 * GB,
+            max_batch=256,
+            min_per_processor_batch=128,
+            compression_ratio=2.4,
+        )
+        assert packed.min_nodes_capacity == 1
+        assert packed.utilization > 0.4
+
+    def test_min_nodes_formula(self):
+        assert min_nodes_for_data(100 * GB, 60 * GB) == 2
+        assert min_nodes_for_data(100 * GB, 60 * GB, 2.0) == 1
+        with pytest.raises(SimulationError):
+            min_nodes_for_data(0, 60 * GB)
+        with pytest.raises(SimulationError):
+            min_nodes_for_data(1, 1, compression_ratio=0.5)
+
+    def test_max_efficient_nodes_formula(self):
+        assert max_efficient_nodes(256, 4, 32) == 2
+        assert max_efficient_nodes(256, 4, 128) == 0
+        with pytest.raises(SimulationError):
+            max_efficient_nodes(0, 4, 32)
+
+    def test_feasible_case(self):
+        analysis = analyze_placement(
+            gtx(), 30 * GB, max_batch=1024, min_per_processor_batch=8
+        )
+        assert analysis.feasible_without_tradeoff
+        assert analysis.utilization == 1.0

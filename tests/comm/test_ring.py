@@ -1,0 +1,70 @@
+"""Virtual-ring transfers (§V-D extra-partition replication)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.launcher import run_parallel
+from repro.comm.ring import ring_exchange, ring_neighbors, ring_replicate
+
+
+class TestNeighbors:
+    def test_interior(self):
+        assert ring_neighbors(2, 5) == (1, 3)
+
+    def test_wraparound(self):
+        assert ring_neighbors(0, 5) == (4, 1)
+        assert ring_neighbors(4, 5) == (3, 0)
+
+    def test_two_ranks_are_mutual_neighbors(self):
+        assert ring_neighbors(0, 2) == (1, 1)
+
+
+class TestExchange:
+    def test_one_round_shifts_left_blocks_right(self):
+        results = run_parallel(
+            lambda c: ring_exchange(c, f"block-{c.rank}", rounds=1, timeout=5),
+            4,
+            timeout=10,
+        )
+        # each rank receives its left neighbor's block
+        assert results[0] == ["block-3"]
+        assert results[1] == ["block-0"]
+        assert results[3] == ["block-2"]
+
+    def test_full_rotation_sees_everything(self):
+        size = 5
+
+        def body(comm):
+            seen = ring_exchange(
+                comm, comm.rank, rounds=size - 1, timeout=5
+            )
+            return sorted(seen + [comm.rank])
+
+        results = run_parallel(body, size, timeout=10)
+        assert all(r == list(range(size)) for r in results)
+
+
+class TestReplicate:
+    def test_copies_come_from_left_neighbors(self):
+        results = run_parallel(
+            lambda c: ring_replicate(c, f"part-{c.rank}", 2, timeout=5),
+            4,
+            timeout=10,
+        )
+        assert results[2] == ["part-1", "part-0"]
+        assert results[0] == ["part-3", "part-2"]
+
+    def test_zero_copies_is_noop(self):
+        results = run_parallel(
+            lambda c: ring_replicate(c, "x", 0, timeout=5), 3, timeout=10
+        )
+        assert results == [[], [], []]
+
+    def test_too_many_copies_rejected(self):
+        from repro.comm.launcher import ParallelFailure
+
+        with pytest.raises(ParallelFailure):
+            run_parallel(
+                lambda c: ring_replicate(c, "x", 3, timeout=5), 3, timeout=10
+            )

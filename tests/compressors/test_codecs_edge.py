@@ -1,0 +1,160 @@
+"""Edge cases and error paths of the from-scratch codecs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compressors.base import read_uvarint, write_uvarint
+from repro.compressors.filters import BitshuffleFilter, TransposeFilter
+from repro.compressors.huffman import HuffmanCodec
+from repro.compressors.lz77 import Lz77Codec
+from repro.compressors.lzw import LzwCodec
+from repro.compressors.rle import RleCodec
+from repro.compressors.stdlib import Bz2Codec, LzmaCodec, ZlibCodec
+from repro.errors import CompressionError
+
+
+class TestParameterValidation:
+    def test_lzw_max_bits_bounds(self):
+        with pytest.raises(ValueError):
+            LzwCodec(9)
+        with pytest.raises(ValueError):
+            LzwCodec(21)
+
+    def test_lz77_level_bounds(self):
+        with pytest.raises(ValueError):
+            Lz77Codec(0)
+        with pytest.raises(ValueError):
+            Lz77Codec(13)
+
+    def test_stdlib_level_bounds(self):
+        with pytest.raises(ValueError):
+            ZlibCodec(0)
+        with pytest.raises(ValueError):
+            Bz2Codec(10)
+        with pytest.raises(ValueError):
+            LzmaCodec(10)
+
+    def test_filter_width_bounds(self):
+        with pytest.raises(ValueError):
+            TransposeFilter(1)
+        with pytest.raises(ValueError):
+            TransposeFilter(256)
+
+
+class TestCorruptInput:
+    def test_rle_truncated_run(self):
+        with pytest.raises(CompressionError):
+            RleCodec().decompress(write_uvarint(10) + b"\x85")
+
+    def test_rle_length_mismatch(self):
+        # header says 100 bytes but stream encodes 3
+        payload = write_uvarint(100) + b"\x02abc"
+        with pytest.raises(CompressionError):
+            RleCodec().decompress(payload)
+
+    def test_lzw_truncated_stream(self):
+        codec = LzwCodec(12)
+        good = codec.compress(b"hello hello hello")
+        with pytest.raises(CompressionError):
+            codec.decompress(good[: len(good) // 2])
+
+    def test_fastlz_bad_offset(self):
+        codec = Lz77Codec(3)
+        # literal of 0, then a match with offset 0 (invalid)
+        bad = write_uvarint(8) + bytes([0x01, ord("a"), 0x00, 0x00])
+        with pytest.raises(CompressionError):
+            codec.decompress(bad)
+
+    def test_fastlz_truncated_literals(self):
+        bad = write_uvarint(100) + bytes([0xF0]) + b"ab"
+        with pytest.raises(CompressionError):
+            Lz77Codec(1).decompress(bad)
+
+    def test_huffman_truncated_table(self):
+        with pytest.raises(CompressionError):
+            HuffmanCodec().decompress(write_uvarint(5) + b"\x00" * 10)
+
+    def test_stdlib_corrupt(self):
+        for codec in (ZlibCodec(1), Bz2Codec(1), LzmaCodec(0)):
+            with pytest.raises(CompressionError):
+                codec.decompress(b"this is not a valid stream")
+
+    def test_uvarint_truncated(self):
+        with pytest.raises(CompressionError):
+            read_uvarint(b"\xff\xff")
+
+    def test_uvarint_overlong(self):
+        with pytest.raises(CompressionError):
+            read_uvarint(b"\xff" * 11)
+
+    def test_uvarint_negative_rejected(self):
+        with pytest.raises(ValueError):
+            write_uvarint(-1)
+
+    def test_bitshuffle_bad_pad(self):
+        with pytest.raises(CompressionError):
+            BitshuffleFilter().backward(bytes([9]) + bytes(8))
+
+    def test_bitshuffle_empty(self):
+        with pytest.raises(CompressionError):
+            BitshuffleFilter().backward(b"")
+
+    def test_shuffle_bad_tail(self):
+        with pytest.raises(CompressionError):
+            TransposeFilter(4).backward(bytes([4]) + bytes(8))
+
+
+class TestSpecificBehaviour:
+    def test_rle_compresses_runs_hard(self):
+        data = b"\x00" * 10_000
+        out = RleCodec().compress(data)
+        assert len(out) < 200
+
+    def test_lzw_dictionary_reset_roundtrip(self):
+        """Enough distinct digrams to overflow a 12-bit dictionary and
+        force CLEAR codes mid-stream."""
+        data = bytes((i * 7 + j) % 256 for i in range(256) for j in range(64))
+        codec = LzwCodec(12)
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_lzw_kwkwk_case(self):
+        """The classic aaaa... input exercises the KwKwK special case."""
+        codec = LzwCodec(12)
+        for n in (1, 2, 3, 4, 5, 10, 257, 1000):
+            data = b"a" * n
+            assert codec.decompress(codec.compress(data)) == data
+
+    def test_huffman_single_symbol(self):
+        codec = HuffmanCodec()
+        data = b"z" * 500
+        out = codec.compress(data)
+        assert codec.decompress(out) == data
+        # 1 bit/symbol + 128-byte table + header
+        assert len(out) < 200
+
+    def test_fastlz_long_match_extension(self):
+        """Matches beyond 19 bytes need 255-extension bytes."""
+        codec = Lz77Codec(3)
+        data = b"pattern!" * 1000
+        out = codec.compress(data)
+        assert codec.decompress(out) == data
+        assert len(out) < len(data) // 10
+
+    def test_fastlz_overlapping_copy(self):
+        """offset < match length forces the byte-wise overlap path."""
+        codec = Lz77Codec(3)
+        data = b"ab" * 5000
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_fastlz_incompressible_expansion_bounded(self):
+        import os
+
+        data = os.urandom(10_000)
+        out = Lz77Codec(1).compress(data)
+        # literals-only framing: ~1 control byte per 15+255·k literals
+        assert len(out) < len(data) * 1.01 + 32
+
+    def test_zlib_levels_order_ratio(self):
+        data = (b"the quick brown fox " * 400)
+        assert len(ZlibCodec(9).compress(data)) <= len(ZlibCodec(1).compress(data))

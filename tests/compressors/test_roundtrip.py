@@ -1,0 +1,89 @@
+"""Round-trip correctness across the whole suite on varied payloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compressors.registry import default_registry
+
+# A representative cross-section: every codec family × every filter
+# family appears at least once (the exhaustive 180×9 sweep runs in the
+# nightly-style property tests instead).
+REPRESENTATIVES = [
+    "memcpy",
+    "rle",
+    "huffman",
+    "lzw-12",
+    "lzw-14",
+    "lzw-16",
+    "fastlz-1",
+    "fastlz-2",
+    "fastlz-3",
+    "fastlz-6",
+    "fastlz-9",
+    "fastlz-12",
+    "zlib-1",
+    "zlib-6",
+    "zlib-9",
+    "bz2-1",
+    "bz2-9",
+    "lzma-0",
+    "lzma-6",
+    "lzma-9",
+    "delta+memcpy",
+    "delta+rle",
+    "delta+huffman",
+    "delta+fastlz-3",
+    "delta+zlib-6",
+    "delta+lzma-0",
+    "xor+rle",
+    "xor+huffman",
+    "xor+fastlz-9",
+    "xor+zlib-1",
+    "bitshuffle+memcpy",
+    "bitshuffle+rle",
+    "bitshuffle+huffman",
+    "bitshuffle+fastlz-1",
+    "bitshuffle+zlib-6",
+    "shuffle4+memcpy",
+    "shuffle4+rle",
+    "shuffle4+lzw-12",
+    "shuffle4+fastlz-6",
+    "shuffle4+bz2-1",
+    "shuffle4+lzma-0",
+]
+
+
+@pytest.mark.parametrize("name", REPRESENTATIVES)
+def test_roundtrip_all_payloads(registry, sample_payloads, name):
+    comp = registry.get(name)
+    for kind, payload in sample_payloads.items():
+        restored = comp.decompress(comp.compress(payload))
+        assert restored == payload, f"{name} failed on {kind!r}"
+
+
+def test_every_configuration_roundtrips_smoke(registry, sample_payloads):
+    """Every one of the 180 configurations round-trips at least one
+    non-trivial payload (small payload keeps this fast)."""
+    payload = sample_payloads["text"][:512]
+    for comp in registry:
+        assert comp.decompress(comp.compress(payload)) == payload, comp.name
+
+
+def test_suite_has_180_configurations(registry):
+    assert len(registry) == 180
+
+
+def test_ratio_convention(registry, sample_payloads):
+    """ratio() is original/compressed: > 1 on compressible data for a
+    real codec, exactly 1.0 on empty input."""
+    zlib6 = registry.get("zlib-6")
+    assert zlib6.ratio(sample_payloads["text"]) > 3.0
+    assert zlib6.ratio(b"") == 1.0
+
+
+def test_compressors_are_deterministic(registry, sample_payloads):
+    payload = sample_payloads["smooth"]
+    for name in ("fastlz-6", "huffman", "lzw-14", "delta+zlib-6"):
+        comp = registry.get(name)
+        assert comp.compress(payload) == comp.compress(payload)

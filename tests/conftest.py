@@ -1,0 +1,77 @@
+"""Shared fixtures: tiny datasets, prepared partitions, live stores."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compressors.registry import default_registry
+from repro.datasets.synthetic import generate_dataset
+from repro.fanstore.prepare import prepare_dataset
+from repro.fanstore.store import FanStore
+
+
+@pytest.fixture(scope="session")
+def registry():
+    """The 180-configuration default suite (built once)."""
+    return default_registry()
+
+
+@pytest.fixture(scope="session")
+def raw_dataset_dir(tmp_path_factory):
+    """A small on-disk EM-style dataset: 12 train files in 3 class dirs
+    plus 3 validation files."""
+    root = tmp_path_factory.mktemp("raw-dataset")
+    train = root / "train"
+    generate_dataset(
+        "em", train, num_files=12, avg_file_size=6_000, num_dirs=3, seed=7
+    )
+    val = root / "val"
+    generate_dataset(
+        "em", val, num_files=3, avg_file_size=3_000, num_dirs=1, seed=99
+    )
+    # flatten val/cls0000/* to val/* — validation sets are usually flat
+    for f in list((val / "cls0000").iterdir()):
+        f.rename(val / f.name)
+    (val / "cls0000").rmdir()
+    return root
+
+
+@pytest.fixture(scope="session")
+def prepared_dataset(raw_dataset_dir, tmp_path_factory):
+    """The raw dataset packaged into 3 partitions + broadcast val."""
+    out = tmp_path_factory.mktemp("packed")
+    return prepare_dataset(
+        raw_dataset_dir / "train",
+        out,
+        num_partitions=3,
+        compressor="zlib-1",
+        broadcast_dir=raw_dataset_dir / "val",
+        threads=2,
+    )
+
+
+@pytest.fixture()
+def single_store(prepared_dataset):
+    """A fresh single-node FanStore per test."""
+    with FanStore(prepared_dataset) as fs:
+        yield fs
+
+
+@pytest.fixture(scope="session")
+def sample_payloads():
+    """Byte payloads with varied statistics for codec tests."""
+    rng = np.random.default_rng(0)
+    return {
+        "empty": b"",
+        "single": b"x",
+        "zeros": bytes(4096),
+        "ones": b"\xff" * 1023,
+        "random": rng.bytes(4096),
+        "text": (b"compression preserves every byte of the input. " * 64),
+        "ramp": bytes(range(256)) * 8,
+        "smooth": np.cumsum(
+            rng.integers(-2, 3, 4096), dtype=np.int64
+        ).astype(np.uint8).tobytes(),
+        "sparse": bytes(2048) + rng.bytes(64) + bytes(2048),
+    }

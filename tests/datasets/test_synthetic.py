@@ -1,0 +1,155 @@
+"""Synthetic Table II datasets: determinism, format signatures, and the
+compressibility bands the paper reports."""
+
+from __future__ import annotations
+
+import io
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.compressors.registry import get_compressor
+from repro.datasets.spec import TABLE2, get_spec
+from repro.datasets.synthetic import (
+    GENERATORS,
+    generate_dataset,
+    list_datasets,
+    sample_files,
+)
+
+
+class TestSpec:
+    def test_six_datasets(self):
+        assert len(TABLE2) == 6
+        assert set(TABLE2) == {
+            "em", "tokamak", "lung", "astro", "imagenet", "language",
+        }
+
+    def test_table2_statistics_recorded(self):
+        em = get_spec("em")
+        assert em.paper_num_files == 600_000
+        assert em.file_format == "tif"
+        imagenet = get_spec("imagenet")
+        assert imagenet.paper_num_dirs == 2_002
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            get_spec("mnist")
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("key", sorted(GENERATORS))
+    def test_deterministic(self, key):
+        gen = GENERATORS[key]
+        assert gen(2000, seed=5) == gen(2000, seed=5)
+        assert gen(2000, seed=5) != gen(2000, seed=6)
+
+    @pytest.mark.parametrize("key", sorted(GENERATORS))
+    def test_size_approximately_honored(self, key):
+        data = GENERATORS[key](8_000, seed=1)
+        assert 0.5 * 8_000 <= len(data) <= 1.5 * 8_000
+
+    def test_em_has_tiff_magic(self):
+        assert GENERATORS["em"](1000, 0)[:4] == b"II\x2a\x00"
+
+    def test_tokamak_is_valid_npz(self):
+        blob = GENERATORS["tokamak"](1200, 0)
+        with zipfile.ZipFile(io.BytesIO(blob)) as zf:
+            names = zf.namelist()
+        assert any(n.endswith(".npy") for n in names)
+        arrs = np.load(io.BytesIO(blob))
+        assert arrs["signals"].dtype == np.int16
+
+    def test_lung_has_nifti_magic(self):
+        blob = GENERATORS["lung"](5000, 0)
+        assert blob[344:348] == b"n+1\x00"
+
+    def test_astro_has_fits_header(self):
+        blob = GENERATORS["astro"](10_000, 0)
+        assert blob[:6] == b"SIMPLE"
+        assert len(blob) > 2880
+
+    def test_imagenet_has_jpeg_framing(self):
+        blob = GENERATORS["imagenet"](5000, 0)
+        assert blob[:2] == b"\xff\xd8"
+        assert blob[-2:] == b"\xff\xd9"
+
+    def test_language_is_ascii_text(self):
+        blob = GENERATORS["language"](3000, 0)
+        text = blob.decode("ascii")
+        assert ". " in text
+
+
+class TestCompressibilityBands:
+    """The property the whole paper turns on: each dataset's lossless
+    compressibility must sit in the band Table IV reports."""
+
+    @pytest.mark.parametrize(
+        "key,lo,hi",
+        [
+            ("em", 1.4, 4.0),
+            ("tokamak", 1.8, 4.5),
+            ("lung", 4.0, 20.0),
+            ("astro", 1.8, 7.0),
+            ("imagenet", 0.95, 1.1),
+            ("language", 2.0, 5.0),
+        ],
+    )
+    def test_zlib_ratio_band(self, key, lo, hi):
+        comp = get_compressor("zlib-6")
+        samples = sample_files(key, 4, seed=3)
+        total = sum(len(s) for s in samples)
+        packed = sum(len(comp.compress(s)) for s in samples)
+        assert lo <= total / packed <= hi
+
+    def test_imagenet_incompressible_for_everyone(self):
+        """Table IV row: every compressor reports ~1.0 on JPEG."""
+        samples = sample_files("imagenet", 3, seed=1)
+        for name in ("zlib-9", "bz2-9", "lzma-6", "fastlz-9"):
+            comp = get_compressor(name)
+            for s in samples:
+                assert len(comp.compress(s)) >= 0.95 * len(s)
+
+    def test_lung_most_compressible(self):
+        """Table IV: the lung dataset dominates every other dataset's
+        ratio (5.7–10.8 vs ≤4)."""
+        comp = get_compressor("zlib-6")
+
+        def ratio(key):
+            samples = sample_files(key, 3, seed=2)
+            return sum(map(len, samples)) / sum(
+                len(comp.compress(s)) for s in samples
+            )
+
+        lung = ratio("lung")
+        for other in ("em", "astro", "language", "imagenet"):
+            assert lung > ratio(other)
+
+
+class TestGenerateDataset:
+    def test_materializes_directory_tree(self, tmp_path):
+        spec = generate_dataset(
+            "imagenet", tmp_path, num_files=10, avg_file_size=500,
+            num_dirs=3, seed=0,
+        )
+        assert spec.key == "imagenet"
+        dirs = sorted(p.name for p in tmp_path.iterdir())
+        assert dirs == ["cls0000", "cls0001", "cls0002"]
+        files = list(tmp_path.rglob("*.jpg"))
+        assert len(files) == 10
+
+    def test_size_jitter(self, tmp_path):
+        generate_dataset(
+            "language", tmp_path, num_files=8, avg_file_size=2000, seed=1
+        )
+        sizes = {p.stat().st_size for p in tmp_path.rglob("*.txt")}
+        assert len(sizes) > 1  # not all identical
+
+    def test_defaults_from_spec(self, tmp_path):
+        spec = generate_dataset("language", tmp_path)
+        files = list(tmp_path.rglob("*.txt"))
+        assert len(files) == spec.gen_num_files
+
+    def test_list_datasets(self):
+        assert list_datasets() == sorted(TABLE2)

@@ -1,0 +1,68 @@
+"""Compressed-object backends: RAM and local-disk."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FileNotFoundInStoreError
+from repro.fanstore.backend import DiskBackend, RamBackend
+
+
+@pytest.fixture(params=["ram", "disk"])
+def backend(request, tmp_path):
+    if request.param == "ram":
+        return RamBackend()
+    return DiskBackend(tmp_path / "blobs")
+
+
+class TestBackendContract:
+    def test_put_get(self, backend):
+        backend.put("a/b.bin", b"payload")
+        assert backend.get("a/b.bin") == b"payload"
+
+    def test_contains_and_len(self, backend):
+        assert "x" not in backend
+        backend.put("x", b"1")
+        backend.put("y", b"22")
+        assert "x" in backend
+        assert len(backend) == 2
+
+    def test_missing_raises(self, backend):
+        with pytest.raises(FileNotFoundInStoreError):
+            backend.get("ghost")
+
+    def test_overwrite(self, backend):
+        backend.put("k", b"v1")
+        backend.put("k", b"v2")
+        assert backend.get("k") == b"v2"
+        assert len(backend) == 1
+
+    def test_resident_bytes(self, backend):
+        backend.put("a", bytes(100))
+        backend.put("b", bytes(50))
+        assert backend.resident_bytes == 150
+
+    def test_weird_paths_are_safe(self, backend):
+        """Paths with separators, dots, unicode must not collide or
+        escape (DiskBackend content-addresses blob names)."""
+        paths = ["a/b", "a_b", "../escape", "ünïcode/файл", "x" * 200]
+        for i, p in enumerate(paths):
+            backend.put(p, f"v{i}".encode())
+        for i, p in enumerate(paths):
+            assert backend.get(p) == f"v{i}".encode()
+
+
+class TestDiskBackendSpecifics:
+    def test_blobs_live_under_root(self, tmp_path):
+        root = tmp_path / "store"
+        backend = DiskBackend(root)
+        backend.put("../../../etc/passwd", b"not really")
+        blobs = list(root.iterdir())
+        assert len(blobs) == 1
+        assert blobs[0].suffix == ".blob"
+
+    def test_persists_bytes_on_disk(self, tmp_path):
+        backend = DiskBackend(tmp_path / "store")
+        backend.put("k", b"durable")
+        blob = next((tmp_path / "store").iterdir())
+        assert blob.read_bytes() == b"durable"

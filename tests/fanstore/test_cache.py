@@ -1,0 +1,139 @@
+"""The §IV-C3 cache: refcount pinning, FIFO eviction, both policies."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import FanStoreError
+from repro.fanstore.cache import DecompressedCache
+
+
+class TestPaperPolicy:
+    """retain_unpinned=False: release at refcount zero (Figure 4)."""
+
+    def test_open_miss_insert_close_releases(self):
+        cache = DecompressedCache(1000)
+        assert cache.open("f") is None
+        cache.insert("f", b"data")
+        assert "f" in cache
+        cache.close("f")
+        assert "f" not in cache
+        assert cache.resident_bytes == 0
+
+    def test_concurrent_opens_share_entry(self):
+        cache = DecompressedCache(1000)
+        cache.open("f")
+        cache.insert("f", b"data")
+        assert cache.open("f") == b"data"  # second thread: hit
+        assert cache.refcount("f") == 2
+        cache.close("f")
+        assert "f" in cache  # still pinned by the other opener
+        cache.close("f")
+        assert "f" not in cache
+
+    def test_racing_insert_first_wins(self):
+        cache = DecompressedCache(1000)
+        cache.open("f")
+        cache.open("f")
+        first = cache.insert("f", b"v1")
+        second = cache.insert("f", b"v2")
+        assert first == second == b"v1"
+        assert cache.refcount("f") == 2
+
+    def test_close_unopened_raises(self):
+        cache = DecompressedCache(1000)
+        with pytest.raises(FanStoreError):
+            cache.close("ghost")
+
+    def test_double_close_raises(self):
+        cache = DecompressedCache(1000, retain_unpinned=True)
+        cache.open("f")
+        cache.insert("f", b"x")
+        cache.close("f")
+        with pytest.raises(FanStoreError):
+            cache.close("f")
+
+    def test_stats_counters(self):
+        cache = DecompressedCache(1000)
+        cache.open("a")  # miss
+        cache.insert("a", b"1")
+        cache.open("a")  # hit
+        cache.close("a")
+        cache.close("a")  # second close evicts
+        assert cache.stats.opens == 2
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == 0.5
+        assert cache.stats.evictions == 1
+
+
+class TestRetentionPolicy:
+    """retain_unpinned=True: the ablation's capacity-bounded FIFO."""
+
+    def test_reopen_hits(self):
+        cache = DecompressedCache(1000, retain_unpinned=True)
+        cache.open("f")
+        cache.insert("f", b"data")
+        cache.close("f")
+        assert "f" in cache
+        assert cache.open("f") == b"data"
+
+    def test_fifo_eviction_under_pressure(self):
+        cache = DecompressedCache(100, retain_unpinned=True)
+        for name in ("a", "b", "c"):
+            cache.open(name)
+            cache.insert(name, bytes(40))
+            cache.close(name)
+        # inserting c (40B) over a+b (80B) must evict "a" (oldest) only
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+
+    def test_pinned_entries_survive_pressure(self):
+        cache = DecompressedCache(100, retain_unpinned=True)
+        cache.open("pinned")
+        cache.insert("pinned", bytes(60))  # stays pinned
+        cache.open("x")
+        cache.insert("x", bytes(60))  # needs eviction, but can't evict pinned
+        assert "pinned" in cache
+        assert cache.refcount("pinned") == 1
+
+    def test_oversized_entry_flagged(self):
+        cache = DecompressedCache(10, retain_unpinned=True)
+        cache.open("big")
+        cache.insert("big", bytes(100))
+        assert cache.stats.rejected == 1
+        assert cache.open("big") is not None  # still served
+
+
+class TestConcurrency:
+    def test_parallel_open_close_stress(self):
+        cache = DecompressedCache(1 << 20)
+        errors = []
+
+        def worker(tid):
+            try:
+                for i in range(200):
+                    path = f"file-{i % 5}"
+                    data = cache.open(path)
+                    if data is None:
+                        data = cache.insert(path, path.encode() * 10)
+                    assert data == path.encode() * 10
+                    cache.close(path)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # all refcounts returned to zero → everything released
+        assert cache.resident_bytes == 0
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(FanStoreError):
+        DecompressedCache(0)

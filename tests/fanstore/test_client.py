@@ -1,0 +1,226 @@
+"""The POSIX-compliant client: descriptors, read/seek, the
+multi-read single-write model, directory streams."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import (
+    BadFileDescriptorError,
+    FanStoreError,
+    FileNotFoundInStoreError,
+    WriteViolationError,
+)
+from repro.fanstore.client import O_CREAT, O_RDONLY, O_WRONLY
+
+
+@pytest.fixture()
+def client(single_store):
+    return single_store.client
+
+
+def first_file(client, d="cls0000"):
+    return f"{d}/{client.listdir(d)[0]}"
+
+
+class TestOpenReadClose:
+    def test_full_read(self, client):
+        path = first_file(client)
+        fd = client.open(path, O_RDONLY)
+        data = client.read(fd)
+        client.close(fd)
+        assert len(data) == client.stat(path).st_size
+
+    def test_partial_reads_advance_offset(self, client):
+        path = first_file(client)
+        fd = client.open(path)
+        a = client.read(fd, 10)
+        b = client.read(fd, 10)
+        client.close(fd)
+        whole = client.read_file(path)
+        assert a + b == whole[:20]
+
+    def test_read_past_eof_returns_empty(self, client):
+        path = first_file(client)
+        fd = client.open(path)
+        client.read(fd)
+        assert client.read(fd, 100) == b""
+        client.close(fd)
+
+    def test_pread_does_not_move_offset(self, client):
+        path = first_file(client)
+        fd = client.open(path)
+        chunk = client.pread(fd, 5, 10)
+        assert client.read(fd, 5) == client.read_file(path)[:5]
+        assert chunk == client.read_file(path)[10:15]
+        client.close(fd)
+
+    def test_open_missing_raises(self, client):
+        with pytest.raises(FileNotFoundInStoreError):
+            client.open("does/not/exist")
+
+    def test_fd_lifecycle(self, client):
+        path = first_file(client)
+        fd = client.open(path)
+        client.close(fd)
+        with pytest.raises(BadFileDescriptorError):
+            client.read(fd, 1)
+        with pytest.raises(BadFileDescriptorError):
+            client.close(fd)
+
+    def test_concurrent_fds_same_file(self, client):
+        path = first_file(client)
+        fd1 = client.open(path)
+        fd2 = client.open(path)
+        client.read(fd1, 30)
+        assert client.read(fd2, 10) == client.read_file(path)[:10]
+        client.close(fd1)
+        client.close(fd2)
+        assert client.open_fd_count == 0
+
+    def test_fds_start_above_stdio(self, client):
+        fd = client.open(first_file(client))
+        assert fd >= 3
+        client.close(fd)
+
+
+class TestLseek:
+    def test_seek_set_cur_end(self, client):
+        path = first_file(client)
+        size = client.stat(path).st_size
+        fd = client.open(path)
+        assert client.lseek(fd, 10, os.SEEK_SET) == 10
+        assert client.lseek(fd, 5, os.SEEK_CUR) == 15
+        assert client.lseek(fd, -5, os.SEEK_END) == size - 5
+        client.close(fd)
+
+    def test_seek_before_start_raises(self, client):
+        fd = client.open(first_file(client))
+        with pytest.raises(FanStoreError):
+            client.lseek(fd, -1, os.SEEK_SET)
+        client.close(fd)
+
+    def test_bad_whence(self, client):
+        fd = client.open(first_file(client))
+        with pytest.raises(FanStoreError):
+            client.lseek(fd, 0, 42)
+        client.close(fd)
+
+
+class TestWritePath:
+    def test_write_then_read_back(self, client):
+        client.write_file("out/result.bin", b"epoch artifacts")
+        assert client.read_file("out/result.bin") == b"epoch artifacts"
+        assert client.stat("out/result.bin").st_size == 15
+
+    def test_single_write_model_seals_on_close(self, client):
+        client.write_file("out/sealed.bin", b"v1")
+        with pytest.raises(WriteViolationError):
+            client.open("out/sealed.bin", O_WRONLY | O_CREAT)
+
+    def test_no_rdwr(self, client):
+        with pytest.raises(WriteViolationError):
+            client.open("out/x", os.O_RDWR)
+
+    def test_write_requires_creat(self, client):
+        with pytest.raises(WriteViolationError):
+            client.open("out/x", O_WRONLY)
+
+    def test_two_writers_same_path_rejected(self, client):
+        fd = client.open("out/active", O_WRONLY | O_CREAT)
+        with pytest.raises(WriteViolationError):
+            client.open("out/active", O_WRONLY | O_CREAT)
+        client.close(fd)
+
+    def test_reading_while_writing_rejected(self, client):
+        fd = client.open("out/wip", O_WRONLY | O_CREAT)
+        client.write(fd, b"partial")
+        with pytest.raises(WriteViolationError):
+            client.open("out/wip", O_RDONLY)
+        client.close(fd)
+
+    def test_dataset_files_are_read_only(self, client):
+        path = first_file(client)
+        with pytest.raises(WriteViolationError):
+            client.open(path, O_WRONLY | O_CREAT)
+
+    def test_write_to_read_fd_rejected(self, client):
+        fd = client.open(first_file(client))
+        with pytest.raises(BadFileDescriptorError):
+            client.write(fd, b"x")
+        client.close(fd)
+
+    def test_read_from_write_fd_rejected(self, client):
+        fd = client.open("out/w", O_WRONLY | O_CREAT)
+        with pytest.raises(BadFileDescriptorError):
+            client.read(fd)
+        client.close(fd)
+
+    def test_output_visible_in_namespace(self, client):
+        client.write_file("ckpt/model-000001.ckpt", b"{}")
+        assert "ckpt" in client.listdir("")
+        assert client.listdir("ckpt") == ["model-000001.ckpt"]
+
+    def test_output_stat_flags(self, client):
+        client.write_file("out/flagged", b"z")
+        stat = client.stat("out/flagged")
+        assert stat.is_output
+        assert stat.st_mtime_ns > 0
+
+
+class TestDirectoryStreams:
+    def test_opendir_readdir_closedir(self, client):
+        handle = client.opendir("cls0000")
+        names = []
+        while True:
+            name = handle.readdir()
+            if name is None:
+                break
+            names.append(name)
+        handle.closedir()
+        assert names == client.listdir("cls0000")
+
+    def test_rewind(self, client):
+        handle = client.opendir("cls0000")
+        first = handle.readdir()
+        handle.rewind()
+        assert handle.readdir() == first
+
+    def test_readdir_after_close_raises(self, client):
+        handle = client.opendir("")
+        handle.closedir()
+        with pytest.raises(FanStoreError):
+            handle.readdir()
+
+
+class TestFileObject:
+    def test_binary_context_manager(self, client):
+        path = first_file(client)
+        with client.open_file(path, "rb") as f:
+            data = f.read()
+        assert f.closed
+        assert data == client.read_file(path)
+
+    def test_text_mode(self, client):
+        client.write_file("logs/t.txt", "héllo\n".encode("utf-8"))
+        with client.open_file("logs/t.txt", "r") as f:
+            assert f.read() == "héllo\n"
+
+    def test_write_mode_and_iteration(self, client):
+        with client.open_file("logs/lines.txt", "w") as f:
+            f.write("one\n")
+            f.write("two\n")
+        with client.open_file("logs/lines.txt", "r") as f:
+            assert list(f) == ["one\n", "two\n"]
+
+    def test_seek_tell(self, client):
+        path = first_file(client)
+        with client.open_file(path, "rb") as f:
+            f.seek(7)
+            assert f.tell() == 7
+
+    def test_unsupported_mode(self, client):
+        with pytest.raises(FanStoreError):
+            client.open_file("x", "a+")

@@ -1,0 +1,49 @@
+"""Daemon service-loop robustness under malformed traffic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.launcher import run_parallel
+from repro.fanstore.daemon import TAG_DAEMON
+from repro.fanstore.store import FanStore
+
+
+class TestMalformedMessages:
+    def test_service_survives_garbage(self, prepared_dataset):
+        """Garbage on the daemon tag must be counted, not fatal: the
+        daemon keeps serving fetches afterwards."""
+
+        def body(comm):
+            with FanStore(prepared_dataset, comm=comm) as fs:
+                peer = (comm.rank + 1) % comm.size
+                # three flavours of garbage at the peer's daemon
+                comm.send("not a tuple", peer, TAG_DAEMON)
+                comm.send(("unknown-kind", None), peer, TAG_DAEMON)
+                comm.send((1, 2, 3), peer, TAG_DAEMON)
+                comm.barrier()
+                # the daemon must still answer real requests
+                total = 0
+                for rec in fs.daemon.metadata.walk_files():
+                    total += len(fs.client.read_file(rec.path))
+                comm.barrier()
+                return total, fs.daemon.stats.malformed_requests
+
+        results = run_parallel(body, 3, timeout=60)
+        totals = {t for t, _ in results}
+        assert len(totals) == 1
+        assert all(m >= 2 for _, m in results)  # garbage was counted
+
+    def test_fetch_for_missing_path_answers_not_found(self, prepared_dataset):
+        def body(comm):
+            with FanStore(prepared_dataset, comm=comm) as fs:
+                peer = (comm.rank + 1) % comm.size
+                reply_tag = 0x7000 + comm.rank
+                comm.send(
+                    ("fetch", ("no/such/file", reply_tag)), peer, TAG_DAEMON
+                )
+                ok, _ = comm.recv(peer, reply_tag, timeout=20)
+                comm.barrier()
+                return ok
+
+        assert run_parallel(body, 2, timeout=60) == [False, False]

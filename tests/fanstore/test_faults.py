@@ -1,0 +1,76 @@
+"""Checkpoint/resume (§V-E)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FanStoreError
+from repro.fanstore.faults import CheckpointManager
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(3, {"weights": [1.0, 2.0]})
+        ckpt = mgr.load(3)
+        assert ckpt.epoch == 3
+        assert ckpt.payload == {"weights": [1.0, 2.0]}
+
+    def test_epoch_numbered_names(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        path = mgr.save(12, {})
+        assert path.name == "checkpoint-000012.ckpt"
+
+    def test_latest_picks_highest_epoch(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        assert mgr.latest() is None
+        for e in (1, 5, 3):
+            mgr.save(e, {"epoch_marker": e})
+        assert mgr.latest().epoch == 5
+
+    def test_epochs_sorted(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        for e in (7, 2, 9):
+            mgr.save(e, {})
+        assert mgr.epochs() == [2, 7, 9]
+
+    def test_missing_epoch_raises(self, tmp_path):
+        with pytest.raises(FanStoreError):
+            CheckpointManager(tmp_path).load(99)
+
+    def test_epoch_range_validated(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        with pytest.raises(FanStoreError):
+            mgr.save(-1, {})
+        with pytest.raises(FanStoreError):
+            mgr.save(1_000_000, {})
+
+    def test_corrupted_epoch_field_detected(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        path = mgr.save(4, {})
+        path.write_text('{"epoch": 5, "state": {}}')
+        with pytest.raises(FanStoreError):
+            mgr.load(4)
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(1, {"big": list(range(100))})
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestPruning:
+    def test_keep_last(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, keep_last=2)
+        for e in range(5):
+            mgr.save(e, {})
+        assert mgr.epochs() == [3, 4]
+
+    def test_keep_last_validation(self, tmp_path):
+        with pytest.raises(FanStoreError):
+            CheckpointManager(tmp_path, keep_last=0)
+
+    def test_foreign_files_ignored(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("not a checkpoint")
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(1, {})
+        assert mgr.epochs() == [1]

@@ -1,0 +1,81 @@
+"""The fanstore-inspect tool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fanstore.inspect import (
+    list_partition,
+    main,
+    summarize_dataset,
+    verify_dataset,
+)
+
+
+class TestSummarize:
+    def test_summary_fields(self, prepared_dataset):
+        out = summarize_dataset(prepared_dataset.root)
+        assert "files:       15" in out
+        assert "partitions:  3 + broadcast" in out
+        assert "ratio:" in out
+
+
+class TestList:
+    def test_lists_entries_with_compressor(self, prepared_dataset):
+        path = prepared_dataset.partition_paths()[0]
+        out = list_partition(path)
+        assert "entries" in out
+        assert "->" in out
+
+    def test_limit_truncates(self, prepared_dataset):
+        path = prepared_dataset.partition_paths()[0]
+        out = list_partition(path, limit=1)
+        assert "more" in out
+
+
+class TestVerify:
+    def test_clean_dataset_verifies(self, prepared_dataset):
+        verified, problems = verify_dataset(prepared_dataset.root)
+        assert verified == 15
+        assert problems == []
+
+    def test_corruption_detected(self, prepared_dataset, tmp_path):
+        import shutil
+
+        bad = tmp_path / "bad"
+        shutil.copytree(prepared_dataset.root, bad)
+        victim = bad / prepared_dataset.partitions[0]
+        raw = bytearray(victim.read_bytes())
+        raw[-10] ^= 0xFF  # corrupt the last entry's payload
+        victim.write_bytes(bytes(raw))
+        verified, problems = verify_dataset(bad)
+        assert problems
+        assert verified < 15
+
+
+class TestCli:
+    def test_main_summary(self, prepared_dataset, capsys):
+        assert main([str(prepared_dataset.root)]) == 0
+        assert "ratio" in capsys.readouterr().out
+
+    def test_main_verify_ok(self, prepared_dataset, capsys):
+        assert main([str(prepared_dataset.root), "--verify"]) == 0
+        assert "verified 15 entries" in capsys.readouterr().out
+
+    def test_main_list(self, prepared_dataset, capsys):
+        assert main([str(prepared_dataset.root), "--list", "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "part-00000.fst" in out
+
+    def test_main_verify_corrupt_exits_nonzero(self, prepared_dataset,
+                                               tmp_path, capsys):
+        import shutil
+
+        bad = tmp_path / "bad"
+        shutil.copytree(prepared_dataset.root, bad)
+        victim = bad / prepared_dataset.partitions[1]
+        raw = bytearray(victim.read_bytes())
+        raw[-5] ^= 0x55
+        victim.write_bytes(bytes(raw))
+        assert main([str(bad), "--verify"]) == 1
+        assert "PROBLEM" in capsys.readouterr().out

@@ -1,0 +1,166 @@
+"""User-space interception: the Python LD_PRELOAD equivalent."""
+
+from __future__ import annotations
+
+import builtins
+import os
+import os.path
+import stat as stat_module
+
+import pytest
+
+from repro.fanstore.interception import intercept
+
+
+@pytest.fixture()
+def store(single_store):
+    return single_store
+
+
+class TestOpenInterception:
+    def test_read_under_mount(self, store):
+        name = store.client.listdir("cls0000")[0]
+        with intercept(store):
+            with open(f"/fanstore/cls0000/{name}", "rb") as f:
+                data = f.read()
+        assert data == store.client.read_file(f"cls0000/{name}")
+
+    def test_text_mode(self, store):
+        store.client.write_file("notes/a.txt", b"line\n")
+        with intercept(store):
+            with open("/fanstore/notes/a.txt") as f:
+                assert f.read() == "line\n"
+
+    def test_write_under_mount(self, store):
+        with intercept(store):
+            with open("/fanstore/out/w.bin", "wb") as f:
+                f.write(b"written-via-interception")
+        assert store.client.read_file("out/w.bin") == b"written-via-interception"
+
+    def test_passthrough_outside_mount(self, store, tmp_path):
+        real = tmp_path / "real.txt"
+        real.write_text("on the real fs")
+        with intercept(store):
+            with open(real) as f:
+                assert f.read() == "on the real fs"
+
+    def test_restored_after_exit(self, store):
+        original_open = builtins.open
+        original_stat = os.stat
+        with intercept(store):
+            assert builtins.open is not original_open
+        assert builtins.open is original_open
+        assert os.stat is original_stat
+
+    def test_restored_after_exception(self, store):
+        original_open = builtins.open
+        with pytest.raises(RuntimeError):
+            with intercept(store):
+                raise RuntimeError("boom")
+        assert builtins.open is original_open
+
+
+class TestMetadataInterception:
+    def test_stat_fields(self, store):
+        name = store.client.listdir("cls0000")[0]
+        rel = f"cls0000/{name}"
+        with intercept(store):
+            result = os.stat(f"/fanstore/{rel}")
+        assert result.st_size == store.client.stat(rel).st_size
+        assert stat_module.S_ISREG(result.st_mode)
+
+    def test_stat_directory(self, store):
+        with intercept(store):
+            result = os.stat("/fanstore/cls0000")
+        assert stat_module.S_ISDIR(result.st_mode)
+
+    def test_listdir(self, store):
+        with intercept(store):
+            names = os.listdir("/fanstore/cls0000")
+        assert names == store.client.listdir("cls0000")
+
+    def test_scandir_entries(self, store):
+        with intercept(store):
+            entries = list(os.scandir("/fanstore"))
+            files = [e for e in entries if e.is_file()]
+            dirs = [e for e in entries if e.is_dir()]
+            assert {e.name for e in dirs} >= {"cls0000"}
+            for e in entries:
+                assert e.path.startswith("/fanstore/")
+                assert not e.is_symlink()
+
+    def test_scandir_stat(self, store):
+        with intercept(store):
+            entry = next(
+                e for e in os.scandir("/fanstore/cls0000") if e.is_file()
+            )
+            assert entry.stat().st_size > 0
+
+    def test_path_predicates(self, store):
+        name = store.client.listdir("cls0000")[0]
+        with intercept(store):
+            assert os.path.exists(f"/fanstore/cls0000/{name}")
+            assert os.path.isfile(f"/fanstore/cls0000/{name}")
+            assert os.path.isdir("/fanstore/cls0000")
+            assert not os.path.exists("/fanstore/nope")
+
+    def test_missing_file_raises_filenotfound(self, store):
+        with intercept(store):
+            with pytest.raises(FileNotFoundError):
+                open("/fanstore/ghost.bin", "rb")
+            with pytest.raises(FileNotFoundError):
+                os.stat("/fanstore/ghost.bin")
+
+
+class TestTrainingStyleScan:
+    def test_keras_style_enumeration(self, store):
+        """The §II-B1 startup pattern: readdir every class directory,
+        stat every file — entirely against the RAM table."""
+        with intercept(store):
+            classes = [
+                d
+                for d in os.listdir("/fanstore")
+                if os.path.isdir(f"/fanstore/{d}") and d.startswith("cls")
+            ]
+            count = 0
+            total = 0
+            for c in classes:
+                for name in os.listdir(f"/fanstore/{c}"):
+                    st = os.stat(f"/fanstore/{c}/{name}")
+                    total += st.st_size
+                    count += 1
+        assert count == 12
+        assert total == store.daemon.metadata.total_original_bytes() - sum(
+            store.client.stat(f"val/{n}").st_size
+            for n in store.client.listdir("val")
+        )
+
+
+class TestOsWalkAndPathHelpers:
+    def test_os_walk_traverses_the_mount(self, store):
+        with intercept(store):
+            walked = {
+                dirpath: (sorted(dirnames), sorted(filenames))
+                for dirpath, dirnames, filenames in os.walk("/fanstore")
+            }
+        root_dirs, root_files = walked["/fanstore"]
+        assert "cls0000" in root_dirs
+        assert walked["/fanstore/cls0000"][1]  # files present
+        total_files = sum(len(f) for _, (_, f) in walked.items())
+        assert total_files == 15
+
+    def test_getsize_via_patched_stat(self, store):
+        name = store.client.listdir("cls0000")[0]
+        with intercept(store):
+            size = os.path.getsize(f"/fanstore/cls0000/{name}")
+        assert size == store.client.stat(f"cls0000/{name}").st_size
+
+    def test_pathlib_open_and_read_bytes(self, store):
+        import pathlib
+
+        name = store.client.listdir("cls0000")[0]
+        rel = f"cls0000/{name}"
+        with intercept(store):
+            p = pathlib.Path(f"/fanstore/{rel}")
+            via_open = p.open("rb").read()
+        assert via_open == store.client.read_file(rel)

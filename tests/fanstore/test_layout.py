@@ -1,0 +1,198 @@
+"""The Table I binary partition format."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormatError
+from repro.fanstore.layout import (
+    COUNT_LEN,
+    ENTRY_HEADER_LEN,
+    FLAG_BROADCAST,
+    STAT_LEN,
+    FileStat,
+    iter_partition,
+    read_partition,
+    write_partition,
+)
+
+
+def make_entries(n=3):
+    return [
+        (
+            f"dir/file{i}.bin",
+            i + 1,
+            FileStat(st_size=10 * (i + 1), partition_id=i),
+            bytes([i]) * (10 * (i + 1) // 2),
+        )
+        for i in range(n)
+    ]
+
+
+class TestStatRecord:
+    def test_packs_to_exactly_144_bytes(self):
+        assert len(FileStat().pack()) == STAT_LEN == 144
+
+    def test_roundtrip_all_fields(self):
+        stat = FileStat(
+            st_mode=0o100600,
+            st_ino=42,
+            st_dev=7,
+            st_nlink=2,
+            st_uid=1000,
+            st_gid=100,
+            st_size=123_456_789,
+            st_blksize=8192,
+            st_blocks=999,
+            st_atime_ns=1_700_000_000_000_000_001,
+            st_mtime_ns=1_700_000_000_000_000_002,
+            st_ctime_ns=1_700_000_000_000_000_003,
+            home_rank=-1,
+            partition_id=17,
+            flags=FLAG_BROADCAST,
+        )
+        assert FileStat.unpack(stat.pack()) == stat
+
+    def test_unpack_wrong_length_raises(self):
+        with pytest.raises(FormatError):
+            FileStat.unpack(b"\x00" * 10)
+
+    def test_with_locality(self):
+        stat = FileStat(st_size=5)
+        located = stat.with_locality(3, partition_id=9)
+        assert located.home_rank == 3
+        assert located.partition_id == 9
+        assert located.st_size == 5
+
+    def test_flag_properties(self):
+        assert FileStat(flags=FLAG_BROADCAST).is_broadcast
+        assert not FileStat().is_broadcast
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        size=st.integers(min_value=0, max_value=2**60),
+        rank=st.integers(min_value=-1, max_value=2**31 - 1),
+        pid=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_roundtrip_property(self, size, rank, pid):
+        stat = FileStat(st_size=size, home_rank=rank, partition_id=pid)
+        assert FileStat.unpack(stat.pack()) == stat
+
+
+class TestPartitionFormat:
+    def test_header_layout_matches_table1(self):
+        """4-byte count; per entry 256+2+144+8 = 410 header bytes."""
+        assert COUNT_LEN == 4
+        assert ENTRY_HEADER_LEN == 256 + 2 + 144 + 8
+        entries = make_entries(1)
+        buf = io.BytesIO()
+        n = write_partition(entries, buf)
+        assert n == COUNT_LEN + ENTRY_HEADER_LEN + len(entries[0][3])
+
+    def test_roundtrip(self):
+        entries = make_entries(5)
+        buf = io.BytesIO()
+        write_partition(entries, buf)
+        buf.seek(0)
+        read = read_partition(buf)
+        assert len(read) == 5
+        for (path, cid, stat, data), entry in zip(entries, read):
+            assert entry.path == path
+            assert entry.compressor_id == cid
+            assert entry.stat == stat
+            assert entry.compressed_size == len(data)
+            assert entry.data == data
+
+    def test_metadata_only_scan_skips_payload(self):
+        entries = make_entries(4)
+        buf = io.BytesIO()
+        write_partition(entries, buf)
+        buf.seek(0)
+        scanned = read_partition(buf, with_data=False)
+        for (_, _, _, data), entry in zip(entries, scanned):
+            assert entry.data is None
+            assert entry.compressed_size == len(data)
+            assert entry.data_offset > 0
+
+    def test_data_offsets_allow_direct_access(self):
+        entries = make_entries(3)
+        buf = io.BytesIO()
+        write_partition(entries, buf)
+        raw = buf.getvalue()
+        buf.seek(0)
+        for (_, _, _, data), entry in zip(
+            entries, iter_partition(io.BytesIO(raw), with_data=False)
+        ):
+            assert raw[entry.data_offset : entry.data_offset + len(data)] == data
+
+    def test_empty_partition(self):
+        buf = io.BytesIO()
+        write_partition([], buf)
+        buf.seek(0)
+        assert read_partition(buf) == []
+
+    def test_read_from_path(self, tmp_path):
+        f = tmp_path / "p.fst"
+        with open(f, "wb") as fh:
+            write_partition(make_entries(2), fh)
+        assert len(read_partition(f)) == 2
+
+    def test_truncated_partition_raises(self):
+        buf = io.BytesIO()
+        write_partition(make_entries(2), buf)
+        raw = buf.getvalue()[:-5]
+        with pytest.raises(FormatError):
+            read_partition(io.BytesIO(raw))
+
+    def test_absolute_path_rejected(self):
+        buf = io.BytesIO()
+        with pytest.raises(FormatError):
+            write_partition([("/abs/path", 0, FileStat(), b"")], buf)
+
+    def test_empty_path_rejected(self):
+        buf = io.BytesIO()
+        with pytest.raises(FormatError):
+            write_partition([("", 0, FileStat(), b"")], buf)
+
+    def test_overlong_path_rejected(self):
+        buf = io.BytesIO()
+        with pytest.raises(FormatError):
+            write_partition([("x" * 256, 0, FileStat(), b"")], buf)
+
+    def test_255_byte_path_accepted(self):
+        buf = io.BytesIO()
+        path = "d/" + "x" * 253
+        write_partition([(path, 0, FileStat(), b"ab")], buf)
+        buf.seek(0)
+        assert read_partition(buf)[0].path == path
+
+    def test_compressor_id_range_checked(self):
+        buf = io.BytesIO()
+        with pytest.raises(FormatError):
+            write_partition([("a", 70_000, FileStat(), b"")], buf)
+
+    def test_unicode_paths(self):
+        buf = io.BytesIO()
+        path = "datä/ünïcode-файл.bin"
+        write_partition([(path, 1, FileStat(), b"xy")], buf)
+        buf.seek(0)
+        assert read_partition(buf)[0].path == path
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        payloads=st.lists(st.binary(max_size=200), min_size=0, max_size=8)
+    )
+    def test_roundtrip_property(self, payloads):
+        entries = [
+            (f"f{i}", 1, FileStat(st_size=len(p)), p)
+            for i, p in enumerate(payloads)
+        ]
+        buf = io.BytesIO()
+        write_partition(entries, buf)
+        buf.seek(0)
+        back = read_partition(buf)
+        assert [e.data for e in back] == payloads

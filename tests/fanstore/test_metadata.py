@@ -1,0 +1,137 @@
+"""The RAM metadata table: paths, directories, merging, locality."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FanStoreError, FileNotFoundInStoreError
+from repro.fanstore.layout import FileStat
+from repro.fanstore.metadata import FileRecord, MetadataTable, normalize
+
+
+def rec(path, home=0, size=10, **kwargs):
+    return FileRecord(
+        path=path,
+        stat=FileStat(st_size=size, **kwargs),
+        compressor_id=1,
+        compressed_size=size // 2,
+        home_rank=home,
+        partition_id=0,
+    )
+
+
+class TestNormalize:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("a/b/c", "a/b/c"),
+            ("/a/b", "a/b"),
+            ("a//b/./c", "a/b/c"),
+            ("", ""),
+            (".", ""),
+            ("a\\b", "a/b"),
+            ("a/b/../c", "a/c"),
+        ],
+    )
+    def test_canonical(self, raw, expected):
+        assert normalize(raw) == expected
+
+    def test_escape_rejected(self):
+        with pytest.raises(FanStoreError):
+            normalize("../outside")
+
+
+class TestInsertAndQuery:
+    def test_insert_indexes_ancestors(self):
+        table = MetadataTable()
+        table.insert(rec("train/cat/img1.tif"))
+        assert table.listdir("") == ["train"]
+        assert table.listdir("train") == ["cat"]
+        assert table.listdir("train/cat") == ["img1.tif"]
+
+    def test_stat_file_vs_dir(self):
+        table = MetadataTable()
+        table.insert(rec("d/f", size=77))
+        assert table.stat("d/f").st_size == 77
+        dir_stat = table.stat("d")
+        assert dir_stat.st_mode & 0o040000  # S_IFDIR
+
+    def test_missing_raises_filenotfound(self):
+        table = MetadataTable()
+        with pytest.raises(FileNotFoundInStoreError):
+            table.get("nope")
+        with pytest.raises(FileNotFoundInStoreError):
+            table.stat("nope")
+        with pytest.raises(FileNotFoundInStoreError):
+            table.listdir("nope")
+
+    def test_filenotfound_is_oserror_compatible(self):
+        """Intercepted callers catch builtin FileNotFoundError."""
+        table = MetadataTable()
+        with pytest.raises(FileNotFoundError):
+            table.get("nope")
+
+    def test_is_file_is_dir(self):
+        table = MetadataTable()
+        table.insert(rec("a/b"))
+        assert table.is_file("a/b") and not table.is_dir("a/b")
+        assert table.is_dir("a") and not table.is_file("a")
+        assert table.is_dir("")
+
+    def test_exists_and_contains(self):
+        table = MetadataTable()
+        table.insert(rec("x/y"))
+        assert table.exists("x/y") and "x/y" in table
+        assert table.exists("x")
+        assert not table.exists("x/z")
+
+    def test_root_file_insert_rejected(self):
+        table = MetadataTable()
+        with pytest.raises(FanStoreError):
+            table.insert(rec(""))
+
+    def test_replacement_updates(self):
+        table = MetadataTable()
+        table.insert(rec("f", size=10))
+        table.insert(rec("f", size=20))
+        assert table.get("f").stat.st_size == 20
+        assert len(table) == 1
+
+
+class TestLocalityAndMerge:
+    def test_local_records_filter(self):
+        table = MetadataTable()
+        table.insert(rec("a", home=0))
+        table.insert(rec("b", home=1))
+        table.insert(rec("c", home=0))
+        assert {r.path for r in table.local_records(0)} == {"a", "c"}
+
+    def test_merge_adds_remote_records(self):
+        table = MetadataTable()
+        table.insert(rec("local", home=0))
+        table.merge([rec("remote1", home=1), rec("remote2", home=2)])
+        assert len(table) == 3
+        assert table.get("remote1").home_rank == 1
+
+    def test_merge_lowest_home_rank_wins(self):
+        """Broadcast files exist on every rank; all nodes must agree on
+        one deterministic owner."""
+        table = MetadataTable()
+        table.insert(rec("val/v0", home=2))
+        table.merge([rec("val/v0", home=1)])
+        assert table.get("val/v0").home_rank == 1
+        table.merge([rec("val/v0", home=3)])
+        assert table.get("val/v0").home_rank == 1
+
+    def test_walk_files_sorted(self):
+        table = MetadataTable()
+        for p in ("z", "a/1", "m"):
+            table.insert(rec(p))
+        assert [r.path for r in table.walk_files()] == ["a/1", "m", "z"]
+
+    def test_byte_totals(self):
+        table = MetadataTable()
+        table.insert(rec("a", size=100))
+        table.insert(rec("b", size=60))
+        assert table.total_original_bytes() == 160
+        assert table.total_compressed_bytes() == 80

@@ -1,0 +1,184 @@
+"""The data-preparation tool (§V-B): partitioning, manifest, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import FormatError
+from repro.fanstore.layout import read_partition
+from repro.fanstore.prepare import (
+    MANIFEST_NAME,
+    PreparedDataset,
+    main,
+    prepare_dataset,
+)
+
+
+@pytest.fixture()
+def raw_dir(tmp_path):
+    d = tmp_path / "raw"
+    for sub, n in (("cat", 4), ("dog", 3)):
+        (d / sub).mkdir(parents=True)
+        for i in range(n):
+            (d / sub / f"{sub}{i}.bin").write_bytes(
+                f"{sub}-{i}-".encode() * 50
+            )
+    return d
+
+
+class TestPrepare:
+    def test_round_robin_partitioning(self, raw_dir, tmp_path):
+        prep = prepare_dataset(raw_dir, tmp_path / "out", num_partitions=3,
+                               threads=1)
+        assert prep.num_files == 7
+        assert len(prep.partitions) == 3
+        counts = [
+            len(read_partition(p)) for p in prep.partition_paths()
+        ]
+        assert counts == [3, 2, 2]  # 7 files round-robin over 3
+
+    def test_paths_are_relative_to_data_dir(self, raw_dir, tmp_path):
+        prep = prepare_dataset(raw_dir, tmp_path / "out", threads=1)
+        entries = read_partition(prep.partition_paths()[0])
+        assert all(
+            e.path.startswith(("cat/", "dog/")) for e in entries
+        )
+
+    def test_compression_applied_and_recorded(self, raw_dir, tmp_path):
+        prep = prepare_dataset(
+            raw_dir, tmp_path / "out", compressor="zlib-6", threads=1
+        )
+        assert prep.ratio > 2.0  # repetitive content compresses
+        entries = read_partition(prep.partition_paths()[0])
+        assert all(e.compressor_id != 0 for e in entries)
+        assert all(e.compressed_size < e.stat.st_size for e in entries)
+
+    def test_incompressible_files_stored_raw(self, tmp_path):
+        import os
+
+        d = tmp_path / "rand"
+        d.mkdir()
+        (d / "noise.bin").write_bytes(os.urandom(4096))
+        prep = prepare_dataset(d, tmp_path / "out", compressor="zlib-9",
+                               threads=1)
+        entry = read_partition(prep.partition_paths()[0])[0]
+        assert entry.compressor_id == 0  # RAW_ID: compression didn't pay
+        assert entry.compressed_size == entry.stat.st_size
+
+    def test_original_size_in_stat(self, raw_dir, tmp_path):
+        prep = prepare_dataset(raw_dir, tmp_path / "out", threads=1)
+        for p in prep.partition_paths():
+            for e in read_partition(p):
+                assert e.stat.st_size > 0
+
+    def test_broadcast_partition_flagged(self, raw_dir, tmp_path):
+        val = tmp_path / "val"
+        val.mkdir()
+        (val / "v0.bin").write_bytes(b"validation" * 20)
+        prep = prepare_dataset(
+            raw_dir, tmp_path / "out", broadcast_dir=val, threads=1
+        )
+        assert prep.broadcast is not None
+        bentries = read_partition(prep.broadcast_path())
+        assert all(e.stat.is_broadcast for e in bentries)
+        assert bentries[0].path.startswith("val/")
+
+    def test_multithreaded_matches_single(self, raw_dir, tmp_path):
+        p1 = prepare_dataset(raw_dir, tmp_path / "o1", threads=1)
+        p4 = prepare_dataset(raw_dir, tmp_path / "o4", threads=4)
+        e1 = read_partition(p1.partition_paths()[0])
+        e4 = read_partition(p4.partition_paths()[0])
+        assert [(e.path, e.data) for e in e1] == [(e.path, e.data) for e in e4]
+
+    def test_unknown_compressor_fails_fast(self, raw_dir, tmp_path):
+        from repro.errors import UnknownCompressorError
+
+        with pytest.raises(UnknownCompressorError):
+            prepare_dataset(raw_dir, tmp_path / "out", compressor="nope")
+
+    def test_empty_dir_rejected(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(FormatError):
+            prepare_dataset(empty, tmp_path / "out")
+
+    def test_bad_partition_count_rejected(self, raw_dir, tmp_path):
+        with pytest.raises(FormatError):
+            prepare_dataset(raw_dir, tmp_path / "out", num_partitions=0)
+
+
+class TestManifest:
+    def test_manifest_written_and_loadable(self, raw_dir, tmp_path):
+        out = tmp_path / "out"
+        prep = prepare_dataset(raw_dir, out, num_partitions=2, threads=1)
+        loaded = PreparedDataset.load(out)
+        assert loaded.partitions == prep.partitions
+        assert loaded.num_files == prep.num_files
+        assert loaded.compressor == prep.compressor
+        assert loaded.ratio == pytest.approx(prep.ratio)
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(FormatError):
+            PreparedDataset.load(tmp_path)
+
+    def test_version_check(self, raw_dir, tmp_path):
+        out = tmp_path / "out"
+        prepare_dataset(raw_dir, out, threads=1)
+        manifest = json.loads((out / MANIFEST_NAME).read_text())
+        manifest["version"] = 999
+        (out / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(FormatError):
+            PreparedDataset.load(out)
+
+
+class TestCli:
+    def test_main(self, raw_dir, tmp_path, capsys):
+        rc = main(
+            [
+                str(raw_dir),
+                str(tmp_path / "out"),
+                "-p",
+                "2",
+                "-c",
+                "zlib-1",
+                "-t",
+                "2",
+            ]
+        )
+        assert rc == 0
+        assert "packed 7 files" in capsys.readouterr().out
+        assert (tmp_path / "out" / MANIFEST_NAME).exists()
+
+
+class TestAutoSelection:
+    def test_auto_picks_per_file(self, tmp_path):
+        import os
+
+        d = tmp_path / "mixed"
+        d.mkdir()
+        (d / "text.txt").write_bytes(b"the same words again and again " * 200)
+        (d / "noise.bin").write_bytes(os.urandom(3000))
+        prep = prepare_dataset(d, tmp_path / "out", compressor="auto",
+                               threads=1)
+        entries = read_partition(prep.partition_paths()[0])
+        by_name = {e.path: e for e in entries}
+        assert by_name["noise.bin"].compressor_id == 0  # stored raw
+        assert by_name["text.txt"].compressor_id != 0
+        assert by_name["text.txt"].compressed_size < 600
+
+    def test_auto_never_worse_than_single_codec(self, raw_dir, tmp_path):
+        auto = prepare_dataset(raw_dir, tmp_path / "auto",
+                               compressor="auto", threads=1)
+        fixed = prepare_dataset(raw_dir, tmp_path / "fixed",
+                                compressor="zlib-6", threads=1)
+        assert auto.compressed_bytes <= fixed.compressed_bytes
+
+    def test_auto_roundtrips_through_store(self, raw_dir, tmp_path):
+        from repro.fanstore.store import FanStore
+
+        prep = prepare_dataset(raw_dir, tmp_path / "out",
+                               compressor="auto", threads=2)
+        with FanStore(prep) as fs:
+            assert fs.verify_integrity() == prep.num_files

@@ -1,0 +1,131 @@
+"""§V-E end-to-end: a node failure mid-training, relaunch at the same
+scale, resume from the last epoch checkpoint, and converge to the exact
+state an uninterrupted run reaches."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm.launcher import ParallelFailure, run_parallel
+from repro.fanstore.faults import CheckpointManager
+from repro.fanstore.store import FanStore
+from repro.training.loader import SyncLoader, list_training_files
+from repro.training.models import MLP
+from repro.training.trainer import DataParallelTrainer, make_array_collate
+
+FEATURES = 8
+CLASSES = 2
+NODES = 3
+
+
+def decoder(raw: bytes, path: str):
+    arr = np.frombuffer(raw[8 : 8 + FEATURES], dtype=np.uint8)
+    features = arr.astype(np.float64) / 255.0
+    return features, int(arr.sum()) % CLASSES
+
+
+class _CrashAfterEpoch(Exception):
+    pass
+
+
+class _CrashingLoader:
+    """A loader that simulates node failure entering a given epoch."""
+
+    def __init__(self, inner, crash_after: int) -> None:
+        self.inner = inner
+        self.crash_after = crash_after
+
+    def __iter__(self):
+        for batch in self.inner:
+            if batch.epoch > self.crash_after:
+                raise _CrashAfterEpoch(f"node died at epoch {batch.epoch}")
+            yield batch
+
+
+def _make_trainer(fs, comm, ckpt_dir, epochs, crash_after=None):
+    files = [p for p in list_training_files(fs.client) if p.startswith("cls")]
+    loader = SyncLoader(
+        fs.client, files, batch_size=6, epochs=epochs,
+        rank=comm.rank, world_size=comm.size, seed=1, decoder=decoder,
+    )
+    if crash_after is not None:
+        loader = _CrashingLoader(loader, crash_after)
+    model = MLP([FEATURES, 6, CLASSES], seed=13)
+    # Every rank points at the shared checkpoint directory — the trainer
+    # itself restricts *saving* to rank 0, but all ranks must read the
+    # same resume point (or their epoch counts diverge).
+    return DataParallelTrainer(
+        model,
+        loader,
+        make_array_collate((FEATURES,), CLASSES),
+        comm=comm,
+        lr=0.2,
+        checkpoints=CheckpointManager(ckpt_dir),
+    )
+
+
+def test_crash_then_resume_matches_uninterrupted(prepared_dataset, tmp_path):
+    epochs = 4
+    ckpt_crash = tmp_path / "ckpt-crash"
+    ckpt_clean = tmp_path / "ckpt-clean"
+
+    # Reference: an uninterrupted run.
+    def clean(comm):
+        with FanStore(prepared_dataset, comm=comm) as fs:
+            trainer = _make_trainer(fs, comm, ckpt_clean, epochs)
+            trainer.train()
+            return trainer.model.get_flat_params()
+
+    reference = run_parallel(clean, NODES, timeout=120)[0]
+
+    # Crashed run: rank 1 dies entering epoch 2 (epochs 0-1 completed
+    # and checkpointed by rank 0).
+    def crashing(comm):
+        with FanStore(prepared_dataset, comm=comm) as fs:
+            trainer = _make_trainer(
+                fs, comm, ckpt_crash, epochs,
+                crash_after=1 if comm.rank == 1 else None,
+            )
+            trainer.train()
+
+    with pytest.raises(ParallelFailure) as exc_info:
+        run_parallel(crashing, NODES, timeout=120)
+    assert any(
+        isinstance(e, _CrashAfterEpoch)
+        for e in exc_info.value.errors.values()
+    )
+
+    # The shared FS holds the epoch-1 checkpoint (the §V-E resume point).
+    mgr = CheckpointManager(ckpt_crash)
+    assert mgr.latest() is not None
+    assert mgr.latest().epoch == 1
+
+    # Relaunch at the same scale and resume.
+    def resumed(comm):
+        with FanStore(prepared_dataset, comm=comm) as fs:
+            trainer = _make_trainer(fs, comm, ckpt_crash, epochs)
+            report = trainer.train(resume=True)
+            return report.resumed_from_epoch, trainer.model.get_flat_params()
+
+    results = run_parallel(resumed, NODES, timeout=120)
+    for resumed_from, params in results:
+        assert resumed_from == 1
+        # deterministic loaders + averaged gradients ⇒ bit-identical
+        # final state to the run that never crashed
+        np.testing.assert_array_equal(params, reference)
+
+
+def test_resume_requires_same_checkpoint_payload(prepared_dataset, tmp_path):
+    """A corrupted resume point must be detected, not silently used."""
+    ckpt = tmp_path / "ckpt"
+    mgr = CheckpointManager(ckpt)
+    mgr.save(0, {"params": [0.0] * 3})  # wrong parameter count
+
+    def body(comm):
+        with FanStore(prepared_dataset, comm=comm) as fs:
+            trainer = _make_trainer(fs, comm, ckpt, 2)
+            trainer.train(resume=True)
+
+    with pytest.raises(ParallelFailure):
+        run_parallel(body, 2, timeout=60)

@@ -1,0 +1,61 @@
+"""Cross-model consistency: the analytic SharedFileSystem and the DES
+lustre path must tell the same story (they are used by different
+benchmarks to regenerate the same figures)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.sharedfs import default_lustre
+from repro.cluster.machines import cpu
+from repro.training.apps import resnet50
+from repro.training.simulate import SimJob, simulate_run
+
+
+class TestAnalyticVsDes:
+    @pytest.mark.parametrize("nodes", [4, 32])
+    def test_batch_read_within_factor(self, nodes):
+        """Both models cost one iteration's shared-FS reads; they use
+        different contention formulations (closed-form max vs queueing)
+        so exact agreement isn't expected — same order of magnitude and
+        the same direction of scaling is."""
+        app = resnet50()
+        job = SimJob(
+            machine=cpu(), app=app, nodes=nodes, io_path="lustre",
+            iterations=3, dataset_files=1_000 * nodes,
+        )
+        des_iter = simulate_run(job).mean_iteration_seconds
+        des_io = des_iter - job.compute_seconds  # subtract modeled compute
+
+        fs = default_lustre()
+        analytic_io = fs.batch_read_seconds(
+            nodes, job.files_per_node, job.file_bytes
+        )
+        assert des_io > 0
+        assert 0.1 < analytic_io / des_io < 10.0
+
+    def test_both_scale_superlinearly_past_saturation(self):
+        app = resnet50()
+
+        def des_io(nodes):
+            job = SimJob(
+                machine=cpu(), app=app, nodes=nodes, io_path="lustre",
+                iterations=2, dataset_files=1_000 * nodes,
+            )
+            return (
+                simulate_run(job).mean_iteration_seconds - job.compute_seconds
+            )
+
+        fs = default_lustre()
+
+        def analytic_io(nodes):
+            job = SimJob(machine=cpu(), app=app, nodes=nodes,
+                         io_path="lustre", iterations=1,
+                         dataset_files=1_000)
+            return fs.batch_read_seconds(
+                nodes, job.files_per_node, job.file_bytes
+            )
+
+        # per-node I/O time grows with node count in both models
+        assert des_io(64) > 1.5 * des_io(4)
+        assert analytic_io(64) > 1.5 * analytic_io(4)

@@ -1,0 +1,201 @@
+"""Equations 1–3 and the selection policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SelectionError
+from repro.selection.model import (
+    CompressorCandidate,
+    CompressorSelector,
+    IoPerformance,
+    SelectionInputs,
+    t_read,
+)
+from repro.util.units import MB
+
+
+def make_inputs(**overrides):
+    defaults = dict(
+        io_mode="sync",
+        c_batch=100,
+        s_batch_uncompressed=100 * MB,
+        perf_uncompressed=IoPerformance(tpt_read=1000, bdw_read=1000 * MB),
+        perf_compressed=IoPerformance(tpt_read=2000, bdw_read=1000 * MB),
+        t_iter=1.0,
+        parallelism=1,
+    )
+    defaults.update(overrides)
+    return SelectionInputs(**defaults)
+
+
+class TestEquation3:
+    def test_throughput_bound(self):
+        perf = IoPerformance(tpt_read=100, bdw_read=10_000 * MB)
+        # 100 files at 100 f/s = 1 s; bytes are negligible
+        assert t_read(100, 1 * MB, perf) == pytest.approx(1.0)
+
+    def test_bandwidth_bound(self):
+        perf = IoPerformance(tpt_read=1_000_000, bdw_read=100 * MB)
+        assert t_read(10, 500 * MB, perf) == pytest.approx(5.0)
+
+    def test_max_of_both(self):
+        """The §VI-A non-linearity: whichever bound is slower governs."""
+        perf = IoPerformance(tpt_read=100, bdw_read=100 * MB)
+        assert t_read(100, 200 * MB, perf) == pytest.approx(2.0)  # bw wins
+        assert t_read(400, 200 * MB, perf) == pytest.approx(4.0)  # tpt wins
+
+    def test_validation(self):
+        perf = IoPerformance(tpt_read=1, bdw_read=1)
+        with pytest.raises(SelectionError):
+            t_read(0, 1, perf)
+        with pytest.raises(SelectionError):
+            t_read(1, -1, perf)
+        with pytest.raises(SelectionError):
+            IoPerformance(tpt_read=0, bdw_read=1)
+
+
+class TestInputValidation:
+    def test_io_mode(self):
+        with pytest.raises(SelectionError):
+            make_inputs(io_mode="magic")
+
+    def test_async_requires_t_iter(self):
+        with pytest.raises(SelectionError):
+            make_inputs(io_mode="async", t_iter=0.0)
+
+    def test_candidate_validation(self):
+        with pytest.raises(SelectionError):
+            CompressorCandidate("x", ratio=0.5, decompress_cost=1.0)
+        with pytest.raises(SelectionError):
+            CompressorCandidate("x", ratio=2.0, decompress_cost=-1.0)
+
+
+class TestBudget:
+    def test_sync_budget_is_read_time_saved(self):
+        sel = CompressorSelector(make_inputs())
+        # uncompressed: max(100/1000, 100/1000)=0.1 s
+        # ratio 2: max(100/2000, 50/1000)=0.05 s → budget 0.05/100
+        assert sel.budget_per_file(2.0) == pytest.approx(0.0005)
+
+    def test_parallelism_scales_budget(self):
+        s1 = CompressorSelector(make_inputs(parallelism=1))
+        s4 = CompressorSelector(make_inputs(parallelism=4))
+        assert s4.budget_per_file(2.0) == pytest.approx(
+            4 * s1.budget_per_file(2.0)
+        )
+
+    def test_async_budget_is_iteration_slack(self):
+        sel = CompressorSelector(make_inputs(io_mode="async", t_iter=1.0))
+        # T_read compressed at ratio 2 = 0.05 s → slack 0.95 s over 100
+        assert sel.budget_per_file(2.0) == pytest.approx(0.0095)
+
+    def test_async_budget_bigger_than_sync(self):
+        """Equation 2's condition is weaker than Equation 1's whenever
+        T_iter exceeds the baseline read time."""
+        sync = CompressorSelector(make_inputs(io_mode="sync"))
+        async_ = CompressorSelector(make_inputs(io_mode="async"))
+        assert async_.budget_per_file(2.0) > sync.budget_per_file(2.0)
+
+    def test_higher_ratio_more_budget_when_bandwidth_bound(self):
+        inputs = make_inputs(
+            perf_compressed=IoPerformance(tpt_read=1_000_000, bdw_read=500 * MB)
+        )
+        sel = CompressorSelector(inputs)
+        assert sel.budget_per_file(4.0) > sel.budget_per_file(1.5)
+
+    def test_bad_ratio_rejected(self):
+        sel = CompressorSelector(make_inputs())
+        with pytest.raises(SelectionError):
+            sel.read_time_compressed(0.9)
+
+
+class TestSelection:
+    def mk(self, name, ratio, cost):
+        return CompressorCandidate(name, ratio=ratio, decompress_cost=cost)
+
+    def test_highest_ratio_among_qualifiers(self):
+        sel = CompressorSelector(make_inputs(parallelism=4))
+        result = sel.select(
+            [
+                self.mk("fast-low", 1.5, 1e-6),
+                self.mk("good", 2.5, 1e-6),
+                self.mk("slow-high", 4.0, 1.0),  # blows the budget
+            ]
+        )
+        assert result.selected.name == "good"
+        assert {v.candidate.name for v in result.verdicts if v.accepted} == {
+            "fast-low",
+            "good",
+        }
+
+    def test_capacity_constraint_filters(self):
+        sel = CompressorSelector(make_inputs(required_ratio=2.0, parallelism=4))
+        result = sel.select(
+            [self.mk("thin", 1.5, 1e-6), self.mk("fat", 2.5, 1e-6)]
+        )
+        assert result.selected.name == "fat"
+        thin = next(v for v in result.verdicts if v.candidate.name == "thin")
+        assert thin.meets_performance and not thin.meets_capacity
+
+    def test_tie_breaks_on_cheaper_decompression(self):
+        sel = CompressorSelector(make_inputs(parallelism=4))
+        result = sel.select(
+            [self.mk("a", 2.0, 2e-6), self.mk("b", 2.0, 1e-6)]
+        )
+        assert result.selected.name == "b"
+
+    def test_fallback_when_nothing_qualifies(self):
+        """§VII-E3 shape: the fast candidate buys no capacity, the
+        capacity-buying one blows the budget — fallback picks the
+        latter (never the trivial-ratio one)."""
+        sel = CompressorSelector(make_inputs(required_ratio=1.5))
+        result = sel.select(
+            [self.mk("trivial", 1.1, 1e-9), self.mk("usable", 2.0, 0.5)]
+        )
+        assert result.selected is None
+        assert result.fallback.name == "usable"
+        assert result.choice.name == "usable"
+
+    def test_no_fallback_below_threshold(self):
+        sel = CompressorSelector(make_inputs())
+        result = sel.select([self.mk("trivial", 1.1, 0.5)])
+        assert result.selected is None and result.fallback is None
+        assert result.choice is None
+
+    def test_empty_candidates_raise(self):
+        with pytest.raises(SelectionError):
+            CompressorSelector(make_inputs()).select([])
+
+
+class TestPerformancePrediction:
+    def test_baseline_is_t_iter(self):
+        sel = CompressorSelector(make_inputs())
+        assert sel.predicted_iteration_time(None) == 1.0
+        assert sel.performance_fraction(None) == 1.0
+
+    def test_sync_swap_read_terms(self):
+        sel = CompressorSelector(make_inputs())
+        cand = CompressorCandidate("c", ratio=2.0, decompress_cost=0.001)
+        # t_iter - 0.1 + 0.05 + 100*0.001 = 1.05
+        assert sel.predicted_iteration_time(cand) == pytest.approx(1.05)
+        assert sel.performance_fraction(cand) == pytest.approx(1 / 1.05)
+
+    def test_async_hides_io_under_compute(self):
+        sel = CompressorSelector(make_inputs(io_mode="async"))
+        cheap = CompressorCandidate("c", ratio=2.0, decompress_cost=1e-6)
+        assert sel.predicted_iteration_time(cheap) == pytest.approx(1.0)
+
+    def test_async_surfaces_excess(self):
+        sel = CompressorSelector(make_inputs(io_mode="async"))
+        heavy = CompressorCandidate("h", ratio=2.0, decompress_cost=0.02)
+        assert sel.predicted_iteration_time(heavy) == pytest.approx(
+            0.05 + 2.0
+        )
+
+    def test_explicit_parallelism_override(self):
+        sel = CompressorSelector(make_inputs(parallelism=4))
+        cand = CompressorCandidate("c", ratio=2.0, decompress_cost=0.004)
+        four = sel.predicted_iteration_time(cand)
+        one = sel.predicted_iteration_time(cand, decompress_parallelism=1)
+        assert one > four

@@ -1,0 +1,153 @@
+"""§VII-E's three worked case studies, checked against the paper's
+published intermediate values and final selections."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.selection.cases import (
+    ALL_CASES,
+    frnn_cpu,
+    get_case,
+    srgan_gtx,
+    srgan_v100,
+)
+from repro.selection.cli import main, run_case
+from repro.selection.model import CompressorSelector
+
+
+class TestSrganGtx:
+    """§VII-E1, the fully worked example."""
+
+    def test_baseline_read_time_matches_paper(self):
+        sel = CompressorSelector(srgan_gtx().inputs)
+        # paper: T_read(C, S') = max(256/3158, 410/6663) = 81 063 µs
+        assert sel.read_time_uncompressed() == pytest.approx(
+            81_063e-6, rel=0.001
+        )
+
+    def test_selects_lzsse8(self):
+        case = srgan_gtx()
+        result = CompressorSelector(case.inputs).select(case.candidates())
+        assert result.selected is not None
+        assert result.selected.name == "lzsse8"
+
+    def test_slow_compressors_rejected(self):
+        case = srgan_gtx()
+        result = CompressorSelector(case.inputs).select(case.candidates())
+        rejected = {
+            v.candidate.name
+            for v in result.verdicts
+            if not v.meets_performance
+        }
+        assert {"brotli", "zling", "lzma"} <= rejected
+
+    def test_capacity_requirement_is_2_1(self):
+        assert srgan_gtx().inputs.required_ratio == pytest.approx(2.08, abs=0.05)
+
+    def test_fig8a_slowdown_ordering(self):
+        """Figure 8(a): lzsse8 ≈ baseline; brotli/zling/lzma cost
+        1.1–2.3×. The measured slowdowns match single-threaded
+        decompression (see model docstring)."""
+        case = srgan_gtx()
+        sel = CompressorSelector(case.inputs)
+        by_name = {c.name: c for c in case.candidates()}
+        frac = lambda n: sel.performance_fraction(
+            by_name[n], decompress_parallelism=1
+        )
+        assert frac("lzsse8") > 0.97  # indistinguishable from baseline
+        assert 0.80 < frac("brotli") < 0.95  # the paper's "~10 % for 3.4×"
+        assert frac("zling") < frac("brotli")
+        assert frac("lzma") < 0.55  # the paper's worst case (2.3×)
+
+
+class TestFrnnCpu:
+    """§VII-E2: async I/O accepts everything; highest ratio wins."""
+
+    def test_every_candidate_qualifies(self):
+        case = frnn_cpu()
+        result = CompressorSelector(case.inputs).select(case.candidates())
+        assert all(v.meets_performance for v in result.verdicts)
+
+    def test_budget_generous(self):
+        # paper: "the acceptable decompression cost is 4 952 µs";
+        # our derivation with the published inputs lands at the same
+        # order (ms-scale — every candidate is µs-scale).
+        sel = CompressorSelector(frnn_cpu().inputs)
+        budget = sel.budget_per_file(2.6)
+        assert 1e-3 < budget < 10e-3
+
+    def test_selects_highest_ratio(self):
+        case = frnn_cpu()
+        result = CompressorSelector(case.inputs).select(case.candidates())
+        assert result.selected.name == "brotli"
+
+    def test_fig8b_all_match_baseline(self):
+        """Figure 8(b): all three compressors run at baseline speed."""
+        case = frnn_cpu()
+        sel = CompressorSelector(case.inputs)
+        for cand in case.candidates():
+            assert sel.performance_fraction(cand) > 0.99
+
+
+class TestSrganV100:
+    """§VII-E3: nothing strictly qualifies; lz4hc taken as fallback."""
+
+    def test_budget_near_125us(self):
+        sel = CompressorSelector(srgan_v100().inputs)
+        assert sel.budget_per_file(2.1) == pytest.approx(125e-6, rel=0.05)
+
+    def test_no_strict_winner_fallback_lz4hc(self):
+        case = srgan_v100()
+        result = CompressorSelector(case.inputs).select(case.candidates())
+        assert result.selected is None
+        assert result.fallback is not None
+        assert result.fallback.name == "lz4hc"
+
+    def test_lz4fast_excluded_from_fallback(self):
+        """lz4fast meets the budget by ratio≈1 — the paper rejects it
+        because it buys no capacity. (Its ratio 1.3 is below the 1.5
+        fallback threshold.)"""
+        case = srgan_v100()
+        result = CompressorSelector(case.inputs).select(case.candidates())
+        assert result.fallback.name != "lz4fast"
+
+    def test_lz4hc_performance_near_baseline(self):
+        """Paper: 95.3 % of baseline. Model band: 90–99 %."""
+        case = srgan_v100()
+        sel = CompressorSelector(case.inputs)
+        lz4hc = next(c for c in case.candidates() if c.name == "lz4hc")
+        assert 0.90 < sel.performance_fraction(lz4hc) < 0.995
+
+    def test_heavy_compressors_far_below_baseline(self):
+        case = srgan_v100()
+        sel = CompressorSelector(case.inputs)
+        by_name = {c.name: c for c in case.candidates()}
+        assert sel.performance_fraction(by_name["brotli"]) < 0.9
+        assert sel.performance_fraction(by_name["lzma"]) < 0.5
+
+
+class TestCliAndRegistry:
+    def test_all_cases_resolve(self):
+        for name in ALL_CASES:
+            case = get_case(name)
+            assert case.candidates()
+
+    def test_unknown_case(self):
+        with pytest.raises(KeyError):
+            get_case("nope")
+
+    def test_run_case_report_mentions_selection(self):
+        out = run_case("srgan-gtx")
+        assert "lzsse8" in out
+        assert "selected" in out
+
+    def test_cli_main_all(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        for name in ALL_CASES:
+            assert name in out
+
+    def test_cli_main_single(self, capsys):
+        assert main(["frnn-cpu"]) == 0
+        assert "brotli" in capsys.readouterr().out

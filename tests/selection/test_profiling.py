@@ -1,0 +1,66 @@
+"""Profiling helpers: measured and modeled inputs to the algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compressors.profiles import get_profile
+from repro.compressors.registry import get_compressor
+from repro.errors import SelectionError
+from repro.selection.profiling import (
+    candidate_from_profile,
+    measure_client_read,
+    model_read_performance,
+    profile_compressor,
+)
+from repro.simnet.devices import ssd
+from repro.util.units import KIB, MB
+
+
+class TestProfileCompressor:
+    def test_measures_real_codec(self):
+        samples = [b"compressible sample " * 100] * 3
+        prof = profile_compressor(get_compressor("zlib-1"), samples)
+        assert prof.name == "zlib-1"
+        assert prof.ratio > 3.0
+        assert prof.cost_per_file > 0
+        assert prof.throughput == pytest.approx(1.0 / prof.cost_per_file, rel=0.01)
+
+    def test_as_candidate_clamps_ratio(self):
+        samples = [b"\x00" * 100]
+        prof = profile_compressor(get_compressor("memcpy"), samples)
+        cand = prof.as_candidate()
+        assert cand.ratio >= 1.0
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(SelectionError):
+            profile_compressor(get_compressor("zlib-1"), [])
+
+
+class TestCandidateFromProfile:
+    def test_uses_dataset_ratio_and_arch_cost(self):
+        prof = get_profile("lz4hc")
+        cand = candidate_from_profile(prof, "em", int(1.6 * MB), "power9")
+        assert cand.ratio == pytest.approx(2.0)
+        assert cand.decompress_cost == pytest.approx(942e-6, rel=0.05)
+
+
+class TestMeasureClientRead:
+    def test_live_measurement(self, single_store):
+        client = single_store.client
+        paths = [f"cls0000/{n}" for n in client.listdir("cls0000")]
+        perf = measure_client_read(client, paths, repetitions=2)
+        assert perf.tpt_read > 0
+        assert perf.bdw_read > 0
+
+    def test_requires_paths(self, single_store):
+        with pytest.raises(SelectionError):
+            measure_client_read(single_store.client, [])
+
+
+class TestModelReadPerformance:
+    def test_matches_table6_row(self):
+        perf = model_read_performance(ssd(), 512 * KIB, streams=4)
+        tpt, bdw = ssd().table6_row(512 * KIB, 4)
+        assert perf.tpt_read == pytest.approx(tpt)
+        assert perf.bdw_read == pytest.approx(bdw)

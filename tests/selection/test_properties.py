@@ -1,0 +1,131 @@
+"""Hypothesis properties of the selection algorithm."""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.selection.model import (
+    CompressorCandidate,
+    CompressorSelector,
+    IoPerformance,
+    SelectionInputs,
+    t_read,
+)
+
+perfs = st.builds(
+    IoPerformance,
+    tpt_read=st.floats(min_value=1.0, max_value=1e6),
+    bdw_read=st.floats(min_value=1e3, max_value=1e12),
+)
+
+inputs_strategy = st.builds(
+    SelectionInputs,
+    io_mode=st.sampled_from(["sync", "async"]),
+    c_batch=st.integers(min_value=1, max_value=4096),
+    s_batch_uncompressed=st.floats(min_value=1e3, max_value=1e10),
+    perf_uncompressed=perfs,
+    perf_compressed=perfs,
+    t_iter=st.floats(min_value=0.01, max_value=100.0),
+    parallelism=st.integers(min_value=1, max_value=16),
+    required_ratio=st.floats(min_value=1.0, max_value=4.0),
+)
+
+candidates_strategy = st.lists(
+    st.builds(
+        CompressorCandidate,
+        name=st.text(min_size=1, max_size=8),
+        ratio=st.floats(min_value=1.0, max_value=20.0),
+        decompress_cost=st.floats(min_value=0.0, max_value=1.0),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    c=st.integers(min_value=1, max_value=10_000),
+    s=st.floats(min_value=0.0, max_value=1e12),
+    perf=perfs,
+)
+def test_t_read_is_max_of_bounds(c, s, perf):
+    t = t_read(c, s, perf)
+    assert t >= c / perf.tpt_read - 1e-12
+    assert t >= s / perf.bdw_read - 1e-12
+    assert t <= c / perf.tpt_read + s / perf.bdw_read + 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(inputs=inputs_strategy)
+def test_budget_monotone_in_parallelism(inputs):
+    import dataclasses
+
+    sel1 = CompressorSelector(inputs)
+    doubled = dataclasses.replace(inputs, parallelism=inputs.parallelism * 2)
+    sel2 = CompressorSelector(doubled)
+    b1 = sel1.budget_per_file(2.0)
+    b2 = sel2.budget_per_file(2.0)
+    if b1 >= 0:
+        assert b2 >= b1 - 1e-15
+    else:
+        assert b2 <= b1 + 1e-15  # negative budgets scale the other way
+
+
+@settings(max_examples=60, deadline=None)
+@given(inputs=inputs_strategy)
+def test_budget_monotone_in_ratio(inputs):
+    """A higher compression ratio never shrinks the budget: fewer bytes
+    to read can only free more time."""
+    sel = CompressorSelector(inputs)
+    assert sel.budget_per_file(4.0) >= sel.budget_per_file(1.5) - 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(inputs=inputs_strategy, cands=candidates_strategy)
+def test_selection_invariant_under_candidate_order(inputs, cands):
+    sel = CompressorSelector(inputs)
+    forward = sel.select(cands)
+    backward = sel.select(list(reversed(cands)))
+    f = forward.choice
+    b = backward.choice
+    if f is None:
+        assert b is None
+    else:
+        assert b is not None
+        assert (f.ratio, f.decompress_cost) == (b.ratio, b.decompress_cost)
+
+
+@settings(max_examples=60, deadline=None)
+@given(inputs=inputs_strategy, cands=candidates_strategy)
+def test_selected_dominates_all_accepted(inputs, cands):
+    sel = CompressorSelector(inputs)
+    result = sel.select(cands)
+    if result.selected is None:
+        return
+    for other in result.accepted:
+        assert result.selected.ratio >= other.ratio
+
+
+@settings(max_examples=60, deadline=None)
+@given(inputs=inputs_strategy, cands=candidates_strategy)
+def test_accepted_candidates_really_meet_both_constraints(inputs, cands):
+    sel = CompressorSelector(inputs)
+    result = sel.select(cands)
+    for verdict in result.verdicts:
+        c = verdict.candidate
+        budget = sel.budget_per_file(c.ratio)
+        assert verdict.meets_performance == (c.decompress_cost < budget)
+        assert verdict.meets_capacity == (c.ratio >= inputs.required_ratio)
+
+
+@settings(max_examples=40, deadline=None)
+@given(inputs=inputs_strategy)
+def test_performance_fraction_at_most_one_for_sync(inputs):
+    """Sync I/O: compression can only *help* up to eliminating the read
+    gap — the fraction never exceeds ~1 by more than the read savings."""
+    assume(inputs.io_mode == "sync")
+    sel = CompressorSelector(inputs)
+    free = CompressorCandidate("free", ratio=20.0, decompress_cost=0.0)
+    frac = sel.performance_fraction(free)
+    assert frac > 0

@@ -1,0 +1,136 @@
+"""Selection envelope sweeps and crossover location."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SelectionError
+from repro.selection.cases import frnn_cpu, srgan_v100
+from repro.selection.model import CompressorCandidate, SelectionInputs, IoPerformance
+from repro.selection.sweep import crossover_t_iter, sweep_t_iter, winner_map
+from repro.util.units import MB
+
+
+def async_inputs(**overrides):
+    defaults = dict(
+        io_mode="async",
+        c_batch=128,
+        s_batch_uncompressed=128 * MB,
+        perf_uncompressed=IoPerformance(tpt_read=2000, bdw_read=2000 * MB),
+        perf_compressed=IoPerformance(tpt_read=2000, bdw_read=2000 * MB),
+        t_iter=1.0,
+        parallelism=2,
+    )
+    defaults.update(overrides)
+    return SelectionInputs(**defaults)
+
+
+CANDS = [
+    CompressorCandidate("fast", ratio=1.8, decompress_cost=200e-6),
+    CompressorCandidate("dense", ratio=4.0, decompress_cost=5e-3),
+]
+
+
+class TestSweep:
+    def test_budget_monotone_along_t_iter(self):
+        points = sweep_t_iter(async_inputs(), CANDS, [0.1, 0.5, 2.0, 10.0])
+        budgets = [p.budget_per_file for p in points]
+        assert budgets == sorted(budgets)
+
+    def test_winner_shifts_from_fast_to_dense(self):
+        """Short iterations only admit the fast codec; long ones let the
+        dense one qualify and win on ratio — the §VI tradeoff as a curve."""
+        points = sweep_t_iter(
+            async_inputs(), CANDS, [0.02, 0.1, 1.0, 10.0]
+        )
+        winners = [p.winner for p in points]
+        assert winners[0] == "fast"
+        assert winners[-1] == "dense"
+        # once dense wins, it keeps winning (monotone boundary)
+        first_dense = winners.index("dense")
+        assert all(w == "dense" for w in winners[first_dense:])
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(SelectionError):
+            sweep_t_iter(async_inputs(), CANDS, [])
+
+    def test_winner_map_partitions_the_range(self):
+        t_iters = [0.02, 0.1, 1.0, 10.0]
+        regions = winner_map(async_inputs(), CANDS, t_iters)
+        flattened = sorted(t for ts in regions.values() for t in ts)
+        assert flattened == sorted(t_iters)
+
+
+class TestCrossover:
+    def test_bisection_finds_boundary(self):
+        base = async_inputs()
+        boundary = crossover_t_iter(base, CANDS, lo=1e-3, hi=50.0)
+        assert boundary is not None
+        # qualification flips across the boundary
+        import dataclasses
+
+        from repro.selection.model import CompressorSelector
+
+        below = CompressorSelector(
+            dataclasses.replace(base, t_iter=boundary * 0.9)
+        ).select(CANDS)
+        above = CompressorSelector(
+            dataclasses.replace(base, t_iter=boundary * 1.1)
+        ).select(CANDS)
+        assert above.selected is not None
+        # below may still have the fast candidate; the boundary is for
+        # *some* strict winner — verify consistency instead of absence
+        if below.selected is not None:
+            assert below.selected.decompress_cost <= above.selected.decompress_cost
+
+    def test_none_when_nothing_ever_qualifies(self):
+        impossible = [
+            CompressorCandidate("glacial", ratio=10.0, decompress_cost=10.0)
+        ]
+        assert crossover_t_iter(
+            async_inputs(), impossible, hi=2.0
+        ) is None
+
+    def test_sync_inputs_rejected(self):
+        sync = frnn_cpu().inputs
+        sync = __import__("dataclasses").replace(sync, io_mode="sync")
+        with pytest.raises(SelectionError):
+            crossover_t_iter(sync, CANDS)
+
+
+class TestPaperCaseEnvelopes:
+    def test_frnn_easily_inside_envelope(self):
+        """FRNN's 655 ms iteration is far above the qualification
+        boundary for its candidates — consistent with §VII-E2 where
+        everything qualifies."""
+        case = frnn_cpu()
+        boundary = crossover_t_iter(case.inputs, case.candidates(), hi=10.0)
+        assert boundary is not None
+        assert boundary < case.inputs.t_iter
+
+    def test_v100_sync_budget_is_t_iter_independent(self):
+        """Equation 1 has no T_iter term: slowing SRGAN down does NOT
+        rescue a sync-I/O compressor — the budget comes only from read
+        savings. (The paper's fix for V100 is the §VII-E3 fallback or
+        switching to async I/O, which its discussion suggests.)"""
+        case = srgan_v100()
+        points = sweep_t_iter(
+            case.inputs, case.candidates(), [case.inputs.t_iter, 30.0, 120.0]
+        )
+        assert all(p.strict is False for p in points)
+        budgets = {round(p.budget_per_file, 12) for p in points}
+        assert len(budgets) == 1  # constant in T_iter
+
+    def test_v100_async_would_rescue_lz4hc(self):
+        """The paper's own suggestion ("another approach … would be to
+        implement asynchronous I/O"): switching the V100 case to Eq. 2
+        admits lz4hc strictly."""
+        import dataclasses
+
+        from repro.selection.model import CompressorSelector
+
+        case = srgan_v100()
+        async_inputs_ = dataclasses.replace(case.inputs, io_mode="async")
+        result = CompressorSelector(async_inputs_).select(case.candidates())
+        assert result.selected is not None
+        assert result.selected.ratio >= 2.0

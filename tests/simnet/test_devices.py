@@ -1,0 +1,132 @@
+"""Storage models: affine costs, Table III calibration, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simnet.devices import (
+    TABLE3_SIZES,
+    StorageModel,
+    fanstore_local,
+    fuse_over_ssd,
+    lustre,
+    ram_disk,
+    ssd,
+)
+from repro.util.units import GB, KIB
+
+#: Table III (files/sec): size -> (fanstore, ssd-fuse, ssd, lustre)
+TABLE3 = {
+    128 * KIB: (28_248, 6_687, 39_480, 1_515),
+    512 * KIB: (9_689, 2_416, 9_752, 149),
+    2 * 1024 * KIB: (2_513, 738, 2_786, 385),
+    8 * 1024 * KIB: (560, 197, 678, 139),
+}
+
+
+class TestAffineModel:
+    def test_read_time_monotone_in_size(self):
+        model = ssd()
+        times = [model.read_time(s) for s in TABLE3_SIZES]
+        assert times == sorted(times)
+
+    def test_zero_size_costs_per_op_latency(self):
+        model = ssd()
+        assert model.read_time(0) == pytest.approx(model.per_op_latency)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(SimulationError):
+            ssd().read_time(-1)
+        with pytest.raises(SimulationError):
+            ssd().write_time(-1)
+
+    def test_chunked_model_adds_per_chunk(self):
+        fuse = fuse_over_ssd()
+        one = fuse.read_time(128 * KIB)
+        four = fuse.read_time(512 * KIB)
+        # 4 chunks vs 1: at least 3 extra crossings' worth of cost.
+        assert four - one > 2.5 * fuse.per_chunk
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SimulationError):
+            StorageModel("bad", read_bandwidth=0, write_bandwidth=1,
+                         per_op_latency=0, metadata_latency=0)
+        with pytest.raises(SimulationError):
+            StorageModel("bad", read_bandwidth=1, write_bandwidth=1,
+                         per_op_latency=-1, metadata_latency=0)
+        with pytest.raises(SimulationError):
+            StorageModel("bad", read_bandwidth=1, write_bandwidth=1,
+                         per_op_latency=0, metadata_latency=0, chunk_size=10)
+
+
+class TestTable3Calibration:
+    """The calibrated devices must land within 2× of every Table III
+    cell and preserve the orderings the paper highlights."""
+
+    @pytest.mark.parametrize("size", sorted(TABLE3))
+    def test_within_band(self, size):
+        fs, fuse_fps, ssd_fps, lus = TABLE3[size]
+        assert fanstore_local().read_files_per_second(size) == pytest.approx(
+            fs, rel=0.6
+        )
+        assert fuse_over_ssd().read_files_per_second(size) == pytest.approx(
+            fuse_fps, rel=0.6
+        )
+        assert ssd().read_files_per_second(size) == pytest.approx(
+            ssd_fps, rel=0.6
+        )
+        # The paper's Lustre row is noisy (non-monotone: 149 f/s at
+        # 512 KB but 385 f/s at 2 MB — a shared production system); an
+        # affine model cannot land every cell, so Lustre is checked
+        # order-of-magnitude except the self-contradictory 512 KB cell.
+        if size != 512 * KIB:
+            assert lustre().read_files_per_second(size) == pytest.approx(
+                lus, rel=3.0
+            )
+
+    @pytest.mark.parametrize("size", sorted(TABLE3))
+    def test_ordering_fanstore_between_fuse_and_ssd(self, size):
+        """FanStore ≤ raw SSD but ≫ FUSE and ≫ Lustre, at every size —
+        the qualitative claim of §VII-C."""
+        fs = fanstore_local().read_files_per_second(size)
+        assert fs <= ssd().read_files_per_second(size)
+        assert fs > 2.0 * fuse_over_ssd().read_files_per_second(size)
+        assert fs > 3.5 * lustre().read_files_per_second(size)
+
+    def test_fanstore_fraction_of_ssd(self):
+        """Paper: 71–99 % of raw SSD."""
+        for size in TABLE3:
+            frac = fanstore_local().read_files_per_second(size) / ssd(
+            ).read_files_per_second(size)
+            assert 0.6 <= frac <= 1.0
+
+
+class TestTable6Derivation:
+    def test_table6_row_units(self):
+        tpt, bdw = ssd().table6_row(512 * KIB)
+        assert tpt == pytest.approx(ssd().read_files_per_second(512 * KIB))
+        assert bdw == pytest.approx(tpt * 512 * KIB)
+
+    def test_streams_scale_linearly(self):
+        t1, b1 = ssd().table6_row(512 * KIB, streams=1)
+        t4, b4 = ssd().table6_row(512 * KIB, streams=4)
+        assert t4 == pytest.approx(4 * t1)
+        assert b4 == pytest.approx(4 * b1)
+
+
+class TestPresets:
+    def test_ram_disk_faster_than_ssd(self):
+        for size in TABLE3_SIZES:
+            assert ram_disk().read_time(size) < ssd().read_time(size)
+
+    def test_fanstore_metadata_is_ram_speed(self):
+        """The §IV-C2 claim: metadata served from RAM, no server trip."""
+        assert fanstore_local().stat_time() < 1e-6
+        assert lustre().stat_time() > 100e-6
+
+    def test_fanstore_wraps_custom_backend(self):
+        base = ram_disk()
+        fs = fanstore_local(base)
+        assert "ramdisk" in fs.name
+        assert fs.per_op_latency > base.per_op_latency

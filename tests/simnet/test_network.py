@@ -1,0 +1,90 @@
+"""Interconnect models: postal model, collective cost shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simnet.network import InterconnectModel, fdr_infiniband, omni_path
+from repro.util.units import MB
+
+
+class TestP2P:
+    def test_postal_model(self):
+        net = fdr_infiniband()
+        small = net.p2p_time(0)
+        assert small == pytest.approx(net.latency)
+        big = net.p2p_time(68 * MB)
+        assert big == pytest.approx(net.latency + 68 * MB / net.bandwidth)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(SimulationError):
+            fdr_infiniband().p2p_time(-1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SimulationError):
+            InterconnectModel("bad", latency=-1, bandwidth=1)
+        with pytest.raises(SimulationError):
+            InterconnectModel("bad", latency=0, bandwidth=0)
+
+
+class TestCollectives:
+    def test_single_node_collectives_free(self):
+        net = omni_path()
+        assert net.allgather_time(1000, 1) == 0.0
+        assert net.allreduce_time(1000, 1) == 0.0
+        assert net.broadcast_time(1000, 1) == 0.0
+
+    def test_allgather_linear_in_nodes(self):
+        net = fdr_infiniband()
+        t4 = net.allgather_time(1 * MB, 4)
+        t8 = net.allgather_time(1 * MB, 8)
+        assert t8 == pytest.approx(t4 * 7 / 3)
+
+    def test_allreduce_bandwidth_term_saturates(self):
+        """2·(N−1)/N → 2: doubling nodes barely changes the bandwidth
+        term at scale (why allreduce weak-scales)."""
+        net = omni_path()
+        t64 = net.allreduce_time(100 * MB, 64)
+        t512 = net.allreduce_time(100 * MB, 512)
+        assert t512 < t64 * 1.1
+
+    def test_allreduce_latency_grows_logarithmically(self):
+        net = fdr_infiniband()
+        t2 = net.allreduce_time(0, 2)
+        t1024 = net.allreduce_time(0, 1024)
+        assert t1024 == pytest.approx(10 * t2)
+
+    def test_broadcast_log_steps(self):
+        net = fdr_infiniband()
+        assert net.broadcast_time(1 * MB, 8) == pytest.approx(
+            3 * net.p2p_time(1 * MB)
+        )
+
+    def test_ring_shift_is_single_hop(self):
+        net = fdr_infiniband()
+        assert net.ring_shift_time(5 * MB) == pytest.approx(net.p2p_time(5 * MB))
+
+    def test_node_count_validation(self):
+        net = fdr_infiniband()
+        for fn in (net.allgather_time, net.allreduce_time, net.broadcast_time):
+            with pytest.raises(SimulationError):
+                fn(100, 0)
+
+
+class TestFabricPresets:
+    def test_opa_faster_than_fdr(self):
+        assert omni_path().bandwidth > fdr_infiniband().bandwidth
+
+    def test_sub_microsecond_latency(self):
+        assert fdr_infiniband().latency < 1e-6
+        assert omni_path().latency < 1e-6
+
+    def test_injection_ceiling_used_by_allreduce(self):
+        net = InterconnectModel(
+            "capped", latency=1e-6, bandwidth=100 * MB,
+            injection_bandwidth=10 * MB,
+        )
+        t = net.allreduce_time(10 * MB, 4)
+        # bandwidth term must use the 10 MB/s injection ceiling
+        assert t > 1.0

@@ -1,0 +1,112 @@
+"""I/O trace recording, persistence, and model replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.simnet.devices import fuse_over_ssd, lustre, ssd
+from repro.simnet.trace import IoTrace, TraceEvent, TraceRecorder, replay
+from repro.training.loader import SyncLoader, list_training_files
+
+
+@pytest.fixture()
+def recorder(single_store):
+    return TraceRecorder(single_store.client)
+
+
+class TestRecording:
+    def test_read_records_open_read_close(self, recorder, single_store):
+        path = f"cls0000/{single_store.client.listdir('cls0000')[0]}"
+        data = recorder.read_file(path)
+        ops = [e.op for e in recorder.trace]
+        assert ops == ["open", "read", "close"]
+        read_event = recorder.trace.events[1]
+        assert read_event.nbytes == len(data)
+        assert read_event.duration >= 0
+        assert read_event.path == path
+
+    def test_metadata_and_write_ops(self, recorder):
+        recorder.listdir("")
+        recorder.stat("cls0000")
+        recorder.write_file("out/traced.bin", b"abc")
+        assert recorder.trace.op_counts()["listdir"] == 1
+        assert recorder.trace.op_counts()["stat"] == 1
+        assert recorder.trace.op_counts()["write"] == 1
+        assert recorder.trace.total_bytes("write") == 3
+
+    def test_timestamps_monotone(self, recorder, single_store):
+        for name in single_store.client.listdir("cls0000"):
+            recorder.read_file(f"cls0000/{name}")
+        stamps = [e.timestamp for e in recorder.trace]
+        assert stamps == sorted(stamps)
+
+    def test_loader_over_recorder_traces_an_epoch(self, recorder,
+                                                  single_store):
+        files = list_training_files(single_store.client)
+        loader = SyncLoader(recorder, files, batch_size=5, epochs=1)
+        n_batches = sum(1 for _ in loader)
+        counts = recorder.trace.op_counts()
+        assert counts["read"] == n_batches * 5
+        assert recorder.trace.total_bytes("read") > 0
+
+
+class TestPersistence:
+    def test_jsonl_roundtrip(self, recorder, single_store, tmp_path):
+        path = f"cls0000/{single_store.client.listdir('cls0000')[0]}"
+        recorder.read_file(path)
+        out = tmp_path / "trace.jsonl"
+        recorder.trace.save(out)
+        loaded = IoTrace.load(out)
+        assert len(loaded) == len(recorder.trace)
+        assert loaded.events == recorder.trace.events
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ReproError):
+            TraceEvent.from_json(
+                '{"op": "fork", "path": "x", "nbytes": 0, '
+                '"duration": 0, "timestamp": 0}'
+            )
+
+    def test_summary_renders(self, recorder, single_store):
+        recorder.read_file(
+            f"cls0000/{single_store.client.listdir('cls0000')[0]}"
+        )
+        text = recorder.trace.summary()
+        assert "read" in text and "events" in text
+
+
+class TestReplay:
+    def test_replay_orders_devices_correctly(self, recorder, single_store):
+        """The same trace must cost more on slower devices — the
+        cross-validation between measured and modeled halves."""
+        files = list_training_files(single_store.client)
+        for f in files:
+            recorder.read_file(f)
+        t_ssd = replay(recorder.trace, ssd())
+        t_fuse = replay(recorder.trace, fuse_over_ssd())
+        t_lustre = replay(recorder.trace, lustre())
+        assert t_ssd < t_fuse < t_lustre
+
+    def test_replay_scales_with_bytes(self):
+        trace = IoTrace(
+            [
+                TraceEvent("read", "a", 1_000_000, 0.0, 0.0),
+                TraceEvent("read", "b", 2_000_000, 0.0, 0.0),
+            ]
+        )
+        single = IoTrace([trace.events[0]])
+        assert replay(trace, ssd()) > replay(single, ssd())
+
+    def test_metadata_ops_cost_stat_time(self):
+        trace = IoTrace([TraceEvent("stat", "a", 0, 0.0, 0.0)] * 10)
+        assert replay(trace, lustre()) == pytest.approx(
+            10 * lustre().stat_time()
+        )
+
+    def test_writes_use_write_bandwidth(self):
+        trace = IoTrace([TraceEvent("write", "a", 10_000_000, 0.0, 0.0)])
+        model = ssd()
+        assert replay(trace, model) == pytest.approx(
+            model.write_time(10_000_000)
+        )

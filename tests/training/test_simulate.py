@@ -1,0 +1,157 @@
+"""The cluster-scale simulation: weak scaling bands, Lustre collapse,
+app profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.machines import cpu, gtx, v100
+from repro.compressors.profiles import get_profile
+from repro.errors import ReproError, SimulationError
+from repro.training.apps import APPLICATIONS, frnn, get_app, resnet50, srgan
+from repro.training.simulate import (
+    PROFILE_NODES,
+    SimJob,
+    simulate_run,
+    weak_scaling_sweep,
+)
+
+
+class TestAppProfiles:
+    def test_table5_values(self):
+        s = srgan()
+        assert s.c_batch == 256
+        assert s.t_iter("GTX") == pytest.approx(9.689)
+        assert s.t_iter("V100") == pytest.approx(2.416)
+        f = frnn()
+        assert f.c_batch == 512
+        assert f.io_mode == "async"
+        assert f.t_iter("CPU") == pytest.approx(0.655)
+
+    def test_avg_file_size_em(self):
+        # 410 MB / 256 files ≈ 1.6 MB — Table II's EM average
+        assert srgan().avg_file_bytes == pytest.approx(1.6e6, rel=0.01)
+
+    def test_unknown_cluster_raises(self):
+        with pytest.raises(ReproError):
+            srgan().t_iter("Fugaku")
+
+    def test_registry(self):
+        assert set(APPLICATIONS) == {"SRGAN", "FRNN", "ResNet-50"}
+        assert get_app("ResNet-50").gradient_bytes > get_app("SRGAN").gradient_bytes
+        with pytest.raises(KeyError):
+            get_app("BERT")
+
+
+class TestSimJob:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            SimJob(machine=gtx(), app=srgan(), nodes=0)
+        with pytest.raises(SimulationError):
+            SimJob(machine=gtx(), app=srgan(), nodes=1, io_path="nfs")
+        with pytest.raises(SimulationError):
+            SimJob(machine=gtx(), app=srgan(), nodes=1, iterations=0)
+
+    def test_files_per_node_from_4node_profile(self):
+        job = SimJob(machine=gtx(), app=srgan(), nodes=8)
+        assert job.files_per_node == srgan().c_batch // PROFILE_NODES
+
+    def test_compression_shrinks_transfer_size(self):
+        plain = SimJob(machine=gtx(), app=srgan(), nodes=4)
+        packed = SimJob(
+            machine=gtx(), app=srgan(), nodes=4,
+            compressor=get_profile("lzsse8"),
+        )
+        assert packed.compressed_file_bytes < plain.compressed_file_bytes
+        assert packed.decompress_seconds_per_file() > 0
+        assert plain.decompress_seconds_per_file() == 0
+
+
+class TestFanStoreScaling:
+    def test_srgan_gtx_band(self):
+        """Figure 9(a): ≥ 95 % at 16 nodes (paper: 97.9 %)."""
+        reports = weak_scaling_sweep(
+            gtx(), srgan(), [1, 16], compressor=get_profile("lzsse8"),
+            iterations=8,
+        )
+        eff = reports[16].weak_scaling_efficiency(reports[1])
+        assert 0.95 <= eff <= 1.0
+
+    def test_resnet_gtx_band(self):
+        """Figure 9(b): 85–97 % at 16 nodes (paper: 90.4 %)."""
+        reports = weak_scaling_sweep(gtx(), resnet50(), [1, 16], iterations=8)
+        eff = reports[16].weak_scaling_efficiency(reports[1])
+        assert 0.85 <= eff <= 0.97
+
+    def test_resnet_cpu_512_band(self):
+        """Figure 9(c): ≥ 90 % at 512 nodes (paper: 92.2 %)."""
+        reports = weak_scaling_sweep(cpu(), resnet50(), [1, 512], iterations=4)
+        eff = reports[512].weak_scaling_efficiency(reports[1])
+        assert 0.90 <= eff <= 1.0
+
+    def test_efficiency_monotonically_decays(self):
+        reports = weak_scaling_sweep(gtx(), resnet50(), [1, 4, 16],
+                                     iterations=8)
+        base = reports[1]
+        effs = [reports[n].weak_scaling_efficiency(base) for n in (1, 4, 16)]
+        assert effs[0] >= effs[1] >= effs[2] - 0.02  # allow jitter wiggle
+
+    def test_remote_fraction_grows_with_scale(self):
+        reports = weak_scaling_sweep(gtx(), srgan(), [2, 16], iterations=4)
+        assert reports[16].remote_fraction > reports[2].remote_fraction
+
+    def test_sweep_rejects_oversubscription(self):
+        with pytest.raises(SimulationError):
+            weak_scaling_sweep(v100(), srgan(), [8])
+
+
+class TestLustreCollapse:
+    def test_iteration_time_explodes_with_scale(self):
+        small = simulate_run(
+            SimJob(machine=cpu(), app=resnet50(), nodes=4, io_path="lustre",
+                   iterations=3, dataset_files=4_000)
+        )
+        large = simulate_run(
+            SimJob(machine=cpu(), app=resnet50(), nodes=256,
+                   io_path="lustre", iterations=3, dataset_files=256_000)
+        )
+        assert large.mean_iteration_seconds > 2 * small.mean_iteration_seconds
+
+    def test_512_node_startup_exceeds_one_hour(self):
+        """§VII-F: the paper's 512-node Lustre run 'ran for one hour
+        without starting training'."""
+        rep = simulate_run(
+            SimJob(machine=cpu(), app=resnet50(), nodes=512,
+                   io_path="lustre", iterations=1, dataset_files=512_000)
+        )
+        assert rep.startup_seconds > 3600
+
+    def test_fanstore_startup_stays_small_at_512(self):
+        rep = simulate_run(
+            SimJob(machine=cpu(), app=resnet50(), nodes=512,
+                   io_path="fanstore", iterations=1, dataset_files=512_000)
+        )
+        assert rep.startup_seconds < 600
+
+    def test_fanstore_beats_lustre_at_every_scale(self):
+        for nodes in (4, 64):
+            fan = simulate_run(
+                SimJob(machine=cpu(), app=resnet50(), nodes=nodes,
+                       io_path="fanstore", iterations=3,
+                       dataset_files=1_000 * nodes)
+            )
+            lus = simulate_run(
+                SimJob(machine=cpu(), app=resnet50(), nodes=nodes,
+                       io_path="lustre", iterations=3,
+                       dataset_files=1_000 * nodes)
+            )
+            assert fan.mean_iteration_seconds < lus.mean_iteration_seconds
+
+
+class TestReportArithmetic:
+    def test_mean_requires_iterations(self):
+        from repro.training.simulate import SimReport
+
+        with pytest.raises(SimulationError):
+            SimReport(nodes=1, io_path="fanstore", compressor=None,
+                      startup_seconds=0.0).mean_iteration_seconds

@@ -1,0 +1,108 @@
+"""Streaming statistics: Welford accuracy, merge, percentiles."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.stats import RunningStats, percentile, summarize
+
+floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestRunningStats:
+    def test_empty(self):
+        rs = RunningStats()
+        assert rs.count == 0
+        assert math.isnan(rs.mean)
+        assert math.isnan(rs.variance)
+
+    def test_single(self):
+        rs = RunningStats()
+        rs.add(5.0)
+        assert rs.mean == 5.0
+        assert rs.min == rs.max == 5.0
+        assert math.isnan(rs.variance)
+
+    @settings(max_examples=50, deadline=None)
+    @given(xs=st.lists(floats, min_size=2, max_size=200))
+    def test_matches_numpy(self, xs):
+        rs = RunningStats()
+        rs.extend(xs)
+        assert rs.mean == pytest.approx(np.mean(xs), rel=1e-9, abs=1e-6)
+        assert rs.variance == pytest.approx(
+            np.var(xs, ddof=1), rel=1e-6, abs=1e-4
+        )
+        assert rs.min == min(xs)
+        assert rs.max == max(xs)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        a=st.lists(floats, min_size=1, max_size=50),
+        b=st.lists(floats, min_size=1, max_size=50),
+    )
+    def test_merge_equals_concat(self, a, b):
+        ra, rb, rall = RunningStats(), RunningStats(), RunningStats()
+        ra.extend(a)
+        rb.extend(b)
+        rall.extend(a + b)
+        merged = ra.merge(rb)
+        assert merged.count == rall.count
+        assert merged.mean == pytest.approx(rall.mean, rel=1e-9, abs=1e-6)
+        assert merged.variance == pytest.approx(
+            rall.variance, rel=1e-6, abs=1e-4
+        )
+
+    def test_merge_with_empty(self):
+        ra, rb = RunningStats(), RunningStats()
+        ra.extend([1.0, 2.0])
+        merged = ra.merge(rb)
+        assert merged.count == 2
+        assert merged.mean == 1.5
+
+
+class TestPercentile:
+    def test_matches_numpy_linear(self):
+        data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        for q in (0, 10, 25, 50, 75, 90, 100):
+            assert percentile(data, q) == pytest.approx(
+                np.percentile(data, q)
+            )
+
+    def test_single_element(self):
+        assert percentile([7.0], 50) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.min == 1.0
+        assert s.max == 4.0
+        assert s.p50 == 2.5
+
+    def test_single_sample_stdev_zero(self):
+        assert summarize([5.0]).stdev == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_dict(self):
+        d = summarize([1.0, 2.0]).as_dict()
+        assert set(d) == {"count", "mean", "stdev", "min", "p50", "p95", "max"}

@@ -1,0 +1,60 @@
+"""Wall-clock measurement helpers."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.util.timing import Timer, measure_throughput
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert 0.005 < t.elapsed < 1.0
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed > first
+
+
+class TestMeasureThroughput:
+    def test_counts_calls_and_bytes(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            return 100
+
+        cps, bps = measure_throughput(fn, min_time=0.01, min_calls=5)
+        assert len(calls) >= 5
+        assert cps > 0
+        assert bps / cps == pytest.approx(100.0)  # bytes per call
+
+    def test_respects_max_calls(self):
+        count = [0]
+
+        def fn():
+            count[0] += 1
+            return 1
+
+        measure_throughput(fn, min_time=60.0, min_calls=1, max_calls=50)
+        assert count[0] == 50
+
+    def test_min_calls_enforced_even_when_slow(self):
+        count = [0]
+
+        def fn():
+            count[0] += 1
+            time.sleep(0.005)
+            return 1
+
+        measure_throughput(fn, min_time=0.0, min_calls=3)
+        assert count[0] >= 3

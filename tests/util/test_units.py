@@ -1,0 +1,70 @@
+"""Unit parsing/formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.units import (
+    GB,
+    KIB,
+    MB,
+    MIB,
+    format_bytes,
+    format_rate,
+    format_seconds,
+    parse_size,
+)
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("512 KiB", 512 * KIB),
+            ("2MB", 2 * MB),
+            ("1.5 GiB", int(1.5 * (1 << 30))),
+            ("100", 100),
+            ("3 k", 3000),
+            ("7 MiB", 7 * MIB),
+            ("0.5GB", int(0.5 * GB)),
+            ("42B", 42),
+        ],
+    )
+    def test_parses(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_numbers_pass_through(self):
+        assert parse_size(12345) == 12345
+        assert parse_size(1.9) == 1
+
+    @pytest.mark.parametrize("bad", ["", "abc", "12 XB", "-5 MB"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_size(bad)
+
+
+class TestFormat:
+    def test_format_bytes_binary(self):
+        assert format_bytes(512 * KIB) == "512.0 KiB"
+        assert format_bytes(100) == "100 B"
+
+    def test_format_bytes_decimal(self):
+        assert format_bytes(2 * MB, binary=False) == "2.0 MB"
+
+    def test_format_rate(self):
+        assert format_rate(5 * MB) == "5.0 MB/s"
+
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (852e-6, "852.0 µs"),
+            (0.054568, "54.6 ms"),
+            (9.689, "9.69 s"),
+            (600.0, "10.0 min"),
+        ],
+    )
+    def test_format_seconds(self, seconds, expected):
+        assert format_seconds(seconds) == expected
+
+    def test_format_seconds_negative(self):
+        assert format_seconds(-0.5).startswith("-")
