@@ -3,9 +3,16 @@
 A thread-per-rank :class:`~repro.comm.communicator.Communicator` with
 tagged point-to-point messaging and the standard collectives, the
 ``mpiexec``-style :func:`~repro.comm.launcher.run_parallel` launcher,
-and the §V-D virtual-ring transfer pattern.
+the §V-D virtual-ring transfer pattern, and the seeded fault-injection
+layer (:mod:`~repro.comm.chaos`) the resilience tests run on.
 """
 
+from repro.comm.chaos import (
+    ChaosCommunicator,
+    ChaosStats,
+    ChaosWorld,
+    FaultPlan,
+)
 from repro.comm.communicator import (
     ANY_SOURCE,
     ANY_TAG,
@@ -27,6 +34,10 @@ __all__ = [
     "Communicator",
     "Request",
     "World",
+    "ChaosCommunicator",
+    "ChaosStats",
+    "ChaosWorld",
+    "FaultPlan",
     "ParallelFailure",
     "run_parallel",
     "ring_exchange",

@@ -1,0 +1,339 @@
+"""Deterministic fault injection for the in-process world.
+
+The paper's deployment (512 KNL nodes, multi-hour jobs, §VI) lives with
+transient interconnect hiccups, slow peers, and outright node loss; its
+fault-tolerance answer is checkpoint/resume (§V-E). To test that story
+— and the retry/failover ladder layered on top of it — this module
+injects faults *underneath* the communicator API, so every call site
+(daemon service loop, ring replication, collectives) runs unmodified:
+
+- :class:`FaultPlan` — a seeded, deterministic description of what to
+  break: message **drops**, **delays**, **duplicates** (matched by
+  source/dest/tag with bounded occurrence counts or seeded
+  probabilities), and whole-**rank death**;
+- :class:`ChaosWorld` — a drop-in :class:`~repro.comm.communicator.World`
+  whose ``comm()`` hands out :class:`ChaosCommunicator` handles, so
+  ``run_parallel(fn, size, world=ChaosWorld(size, plan))`` is the whole
+  integration surface;
+- :class:`ChaosCommunicator` — applies the plan on ``send`` and turns
+  every operation of a dead rank into
+  :class:`~repro.errors.RankDeadError` (the crash analog).
+
+Death semantics mirror a lost node: the dead rank's pending and future
+operations raise ``RankDeadError`` on *that* rank, while messages other
+ranks send it vanish silently — peers observe timeouts, exactly what a
+crashed remote looks like, and must recover via retry/failover.
+
+Determinism: matching decisions depend only on the plan (rule order,
+per-rule counters, and a ``random.Random(seed)`` stream for
+probabilistic rules), so a failing chaos test replays byte-for-byte
+from its seed. Delays use real timers, so wall-clock interleaving can
+vary — but *which* messages are delayed does not.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+
+from repro.comm.communicator import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Communicator,
+    World,
+    _Message,
+)
+from repro.errors import CommClosedError, RankDeadError
+
+#: sentinel actions a rule can take on a matched message.
+DROP = "drop"
+DELAY = "delay"
+DUPLICATE = "duplicate"
+
+
+@dataclass
+class ChaosStats:
+    """What the plan actually did, for test assertions."""
+
+    dropped: int = 0
+    delayed: int = 0
+    duplicated: int = 0
+    blackholed: int = 0  # messages sent to an already-dead rank
+    dead_rank_ops: int = 0  # operations attempted by a dead rank
+
+
+@dataclass
+class _Rule:
+    """One fault rule: match predicate + action + occurrence budget."""
+
+    action: str
+    source: int = ANY_SOURCE
+    dest: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    min_tag: int | None = None
+    times: int | None = 1  # matches to consume; None = unlimited
+    probability: float = 1.0
+    seconds: float = 0.0  # DELAY only
+    used: int = field(default=0, compare=False)
+
+    def matches(self, source: int, dest: int, tag: int, rng: random.Random) -> bool:
+        if self.times is not None and self.used >= self.times:
+            return False
+        if self.source not in (ANY_SOURCE, source):
+            return False
+        if self.dest not in (ANY_SOURCE, dest):
+            return False
+        if self.tag not in (ANY_TAG, tag):
+            return False
+        if self.min_tag is not None and tag < self.min_tag:
+            return False
+        if self.probability < 1.0 and rng.random() >= self.probability:
+            return False
+        self.used += 1
+        return True
+
+
+class FaultPlan:
+    """A seeded, replayable schedule of communication faults.
+
+    Rules are consulted in registration order on every ``send``; the
+    first match wins. All mutation is behind one lock so concurrent
+    rank threads observe one consistent counter/RNG stream.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._rules: list[_Rule] = []
+        self._dead: set[int] = set()
+        self._kill_after_sends: dict[int, int] = {}
+        self._sends_by_rank: dict[int, int] = {}
+        self._lock = threading.Lock()
+        self.stats = ChaosStats()
+
+    # -- rule registration (chainable) ------------------------------------
+
+    def drop(
+        self,
+        *,
+        source: int = ANY_SOURCE,
+        dest: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        min_tag: int | None = None,
+        times: int | None = 1,
+        probability: float = 1.0,
+    ) -> "FaultPlan":
+        """Silently discard matching messages (the lost-packet case)."""
+        self._rules.append(_Rule(DROP, source, dest, tag, min_tag,
+                                 times, probability))
+        return self
+
+    def delay(
+        self,
+        seconds: float,
+        *,
+        source: int = ANY_SOURCE,
+        dest: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        min_tag: int | None = None,
+        times: int | None = 1,
+        probability: float = 1.0,
+    ) -> "FaultPlan":
+        """Deliver matching messages late (the slow-peer case)."""
+        if seconds < 0:
+            raise ValueError(f"delay must be >= 0, got {seconds}")
+        self._rules.append(_Rule(DELAY, source, dest, tag, min_tag,
+                                 times, probability, seconds=seconds))
+        return self
+
+    def duplicate(
+        self,
+        *,
+        source: int = ANY_SOURCE,
+        dest: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        min_tag: int | None = None,
+        times: int | None = 1,
+        probability: float = 1.0,
+    ) -> "FaultPlan":
+        """Deliver matching messages twice (the retransmit-race case)."""
+        self._rules.append(_Rule(DUPLICATE, source, dest, tag, min_tag,
+                                 times, probability))
+        return self
+
+    def kill(self, rank: int, *, after_sends: int = 0) -> "FaultPlan":
+        """Schedule rank death: immediately, or once the rank has sent
+        ``after_sends`` messages (a deterministic mid-run trigger)."""
+        with self._lock:
+            if after_sends <= 0:
+                self._dead.add(rank)
+            else:
+                self._kill_after_sends[rank] = after_sends
+        return self
+
+    # -- runtime queries (called by ChaosCommunicator) --------------------
+
+    def is_dead(self, rank: int) -> bool:
+        with self._lock:
+            return rank in self._dead
+
+    def dead_ranks(self) -> set[int]:
+        with self._lock:
+            return set(self._dead)
+
+    def _mark_dead(self, rank: int) -> None:
+        with self._lock:
+            self._dead.add(rank)
+
+    def note_send(self, rank: int) -> bool:
+        """Record one send by ``rank``; True if it crossed a scheduled
+        ``after_sends`` death threshold (the send itself still happens —
+        the crash lands on the *next* operation, like a real SIGKILL
+        racing a completed write)."""
+        with self._lock:
+            self._sends_by_rank[rank] = self._sends_by_rank.get(rank, 0) + 1
+            threshold = self._kill_after_sends.get(rank)
+            if threshold is not None and self._sends_by_rank[rank] >= threshold:
+                del self._kill_after_sends[rank]
+                self._dead.add(rank)
+                return True
+            return False
+
+    def decide(self, source: int, dest: int, tag: int) -> tuple[str, float]:
+        """(action, delay_seconds) for one message; first rule wins."""
+        with self._lock:
+            for rule in self._rules:
+                if rule.matches(source, dest, tag, self._rng):
+                    return rule.action, rule.seconds
+            return "deliver", 0.0
+
+
+class ChaosWorld(World):
+    """A :class:`World` whose communicators route through a plan."""
+
+    def __init__(self, size: int, plan: FaultPlan | None = None) -> None:
+        super().__init__(size)
+        self.plan = plan or FaultPlan()
+
+    def comm(self, rank: int) -> "ChaosCommunicator":
+        super().comm(rank)  # rank-range validation
+        return ChaosCommunicator(self, rank)
+
+    def kill(self, rank: int) -> None:
+        """Kill ``rank`` now: its operations raise
+        :class:`~repro.errors.RankDeadError` (pending recvs wake via the
+        closed mailbox), and traffic addressed to it is blackholed."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} outside [0, {self.size})")
+        self.plan._mark_dead(rank)
+        self._mailboxes[rank].close()
+
+
+class ChaosCommunicator(Communicator):
+    """A :class:`Communicator` that consults the fault plan on every
+    operation. Peers holding plain communicators into the same world
+    would bypass injection, so :class:`ChaosWorld` hands out only these.
+    """
+
+    def __init__(self, world: ChaosWorld, rank: int) -> None:
+        super().__init__(world, rank)
+        self.plan = world.plan
+
+    # -- death handling ---------------------------------------------------
+
+    def _check_alive(self) -> None:
+        if self.plan.is_dead(self.rank):
+            self.plan.stats.dead_rank_ops += 1
+            raise RankDeadError(f"rank {self.rank} is dead")
+
+    def _translate_closed(self, exc: CommClosedError) -> BaseException:
+        """A closed mailbox on a dead rank is the crash, not teardown."""
+        if self.plan.is_dead(self.rank):
+            self.plan.stats.dead_rank_ops += 1
+            return RankDeadError(f"rank {self.rank} is dead")
+        return exc
+
+    # -- injected point-to-point ------------------------------------------
+
+    def send(self, payload, dest: int, tag: int = 0) -> None:
+        self._check_alive()
+        self._check_rank(dest)
+        if tag < 0:
+            # keep the inner validation order: bad args fail loudly even
+            # when the message would have been dropped
+            super().send(payload, dest, tag)
+        if self.plan.is_dead(dest):
+            self.plan.stats.blackholed += 1
+            self._after_send()
+            return
+        action, seconds = self.plan.decide(self.rank, dest, tag)
+        if action == DROP:
+            self.plan.stats.dropped += 1
+        elif action == DELAY:
+            self.plan.stats.delayed += 1
+            self._deliver_later(payload, dest, tag, seconds)
+        elif action == DUPLICATE:
+            self.plan.stats.duplicated += 1
+            super().send(payload, dest, tag)
+            super().send(payload, dest, tag)
+        else:
+            super().send(payload, dest, tag)
+        self._after_send()
+
+    def _after_send(self) -> None:
+        self.plan.note_send(self.rank)
+
+    def _deliver_later(self, payload, dest: int, tag: int, seconds: float) -> None:
+        source = self.rank
+        mailbox = self.world._mailboxes[dest]
+
+        def _deliver() -> None:
+            if self.plan.is_dead(dest):
+                self.plan.stats.blackholed += 1
+                return
+            try:
+                mailbox.put(_Message(source, tag, payload))
+            except CommClosedError:
+                pass  # world tore down while the message was in flight
+
+        timer = threading.Timer(seconds, _deliver)
+        timer.daemon = True
+        timer.start()
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = 60.0,
+    ):
+        self._check_alive()
+        try:
+            return super().recv(source, tag, timeout)
+        except CommClosedError as exc:
+            raise self._translate_closed(exc) from None
+
+    def recv_with_status(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = 60.0,
+    ):
+        self._check_alive()
+        try:
+            return super().recv_with_status(source, tag, timeout)
+        except CommClosedError as exc:
+            raise self._translate_closed(exc) from None
+
+    # -- collectives -------------------------------------------------------
+
+    def _exchange(self, value, timeout):
+        # Chaos does not corrupt collective payloads (they model shared
+        # rendezvous state, not wire messages), but a dead rank must not
+        # participate — its absence stalls peers until their timeout,
+        # the same signature a crashed MPI rank produces.
+        self._check_alive()
+        try:
+            return super()._exchange(value, timeout)
+        except CommClosedError as exc:
+            raise self._translate_closed(exc) from None

@@ -55,6 +55,17 @@ class CommClosedError(CommError, RuntimeError):
     """Communication attempted on a torn-down communicator."""
 
 
+class RankDeadError(CommError, RuntimeError):
+    """Communication attempted by (or teardown observed on) a rank that
+    the fault-injection layer has declared dead — the in-process analog
+    of a node crash mid-job."""
+
+
+class RetryExhaustedError(CommError, TimeoutError):
+    """A request/reply exchange failed every attempt of its bounded
+    retry budget (and, for reads, every failover tier)."""
+
+
 class SelectionError(ReproError):
     """The compressor-selection algorithm received inconsistent inputs."""
 

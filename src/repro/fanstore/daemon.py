@@ -30,9 +30,12 @@ stop        —                                     —
 from __future__ import annotations
 
 import itertools
+import random
 import threading
+import time
 import zlib
 from dataclasses import dataclass
+from typing import Any
 
 from repro.comm.communicator import ANY_SOURCE, Communicator
 from repro.compressors.registry import CompressorRegistry, default_registry
@@ -42,6 +45,8 @@ from repro.errors import (
     CommError,
     FanStoreError,
     FileNotFoundInStoreError,
+    RankDeadError,
+    RetryExhaustedError,
 )
 from repro.fanstore.backend import DiskBackend, RamBackend
 from repro.fanstore.cache import DecompressedCache
@@ -66,6 +71,9 @@ class DaemonStats:
     writes: int = 0
     write_bytes: int = 0
     malformed_requests: int = 0
+    retries: int = 0  # re-sent request/reply attempts (lost or late replies)
+    failovers: int = 0  # fetches that had to leave the home rank
+    degraded_reads: int = 0  # payloads re-read from the shared FS
 
 
 @dataclass(frozen=True)
@@ -77,6 +85,18 @@ class DaemonConfig:
     capacity_bytes: int | None = None  # burst-buffer budget; None = unbounded
     extra_partition_budget: int = 0  # additional partitions to replicate
     request_timeout: float = 30.0
+    #: retry budget for one request/reply exchange: ``max_retries``
+    #: re-sends after the first attempt, each on a fresh reply tag, with
+    #: exponential backoff (base * 2^(attempt-1), capped at the max)
+    #: plus up to ``retry_jitter`` * backoff of seeded random jitter so
+    #: synchronized peers don't re-stampede a recovering rank.
+    max_retries: int = 2
+    retry_backoff_base: float = 0.05
+    retry_backoff_max: float = 2.0
+    retry_jitter: float = 0.5
+    #: attempts against each replica rank once the home rank is given
+    #: up on (replicas are a bonus tier; the shared FS is the floor).
+    failover_attempts: int = 1
     #: compressor applied to output files at close (None = store raw).
     #: Checkpoints/logs are written once and rarely re-read (§II-B3), so
     #: a slow-but-dense codec is usually the right choice here.
@@ -109,6 +129,11 @@ class FanStoreDaemon:
         self._reply_tags = itertools.count(_REPLY_TAG_BASE + self.rank * 1_000_000)
         self._reply_lock = threading.Lock()
         self._loaded_bytes = 0
+        self._prepared: PreparedDataset | None = None
+        # replica paths this rank acquired during ring replication,
+        # announced to peers in the metadata allgather
+        self._replicated_paths: list[str] = []
+        self._retry_rng = random.Random(0x5EED ^ self.rank)
 
     # -- loading ----------------------------------------------------------
 
@@ -155,6 +180,7 @@ class FanStoreDaemon:
         """Stage the prepared dataset: local partitions from the shared
         FS, extra partitions from the ring neighbor, broadcast partition
         everywhere, then the metadata allgather."""
+        self._prepared = prepared  # kept for degraded shared-FS re-reads
         assigned = self._assigned_partitions(len(prepared.partitions))
         partition_paths = prepared.partition_paths()
         for pid in assigned:
@@ -194,18 +220,24 @@ class FanStoreDaemon:
             nbytes = 0
             for path, data, _rec in current:
                 self.backend.put(path, data)
+                self._replicated_paths.append(path)
                 nbytes += len(data)
             self._charge_capacity(nbytes, "extra partition")
 
     def _metadata_allgather(self) -> None:
         """§IV-C1: one allgather builds the identical global view on
         every node. Records keep their *home* rank so remote fetches
-        know where to go."""
+        know where to go; each rank also announces the replica copies it
+        acquired during ring replication, so a fetch whose home rank has
+        died can fail over to a surviving copy."""
         comm = self.comm
         assert comm is not None
         mine = self.metadata.local_records(self.rank)
-        for records in comm.allgather(mine):
+        contributions = comm.allgather((mine, list(self._replicated_paths)))
+        for sender, (records, replicated) in enumerate(contributions):
             self.metadata.merge(records)
+            for path in replicated:
+                self.metadata.add_replica(path, sender)
 
     # -- service loop -------------------------------------------------------
 
@@ -246,28 +278,47 @@ class FanStoreDaemon:
                 continue
             if kind == "stop":
                 return
-            if kind == "fetch":
-                path, reply_tag = body
-                self.stats.served_requests += 1
-                try:
-                    data = self.backend.get(path)
-                except FileNotFoundInStoreError:
-                    comm.send((False, path), source, reply_tag)
-                else:
-                    comm.send((True, data), source, reply_tag)
-            elif kind == "stat":
-                path, reply_tag = body
-                try:
-                    rec = self.metadata.get(path)
-                except FileNotFoundInStoreError:
-                    comm.send((False, None), source, reply_tag)
-                else:
-                    comm.send((True, rec), source, reply_tag)
-            elif kind == "write_meta":
-                record, reply_tag = body
-                self.metadata.insert(record)
-                comm.send((True, None), source, reply_tag)
-            else:
+            if kind not in ("fetch", "stat", "write_meta"):
+                self.stats.malformed_requests += 1
+                continue
+            # The body unpack must sit under the same shield as the
+            # envelope unpack: one peer sending ("fetch", None) must not
+            # take the service down for every other peer.
+            try:
+                subject, reply_tag = body
+            except (TypeError, ValueError):
+                self.stats.malformed_requests += 1
+                continue
+            if not isinstance(reply_tag, int) or reply_tag < 0:
+                self.stats.malformed_requests += 1
+                continue
+            try:
+                if kind == "fetch":
+                    self.stats.served_requests += 1
+                    try:
+                        data = self.backend.get(subject)
+                    except FileNotFoundInStoreError:
+                        comm.send((False, subject), source, reply_tag)
+                    else:
+                        comm.send((True, data), source, reply_tag)
+                elif kind == "stat":
+                    try:
+                        rec = self.metadata.get(subject)
+                    except FileNotFoundInStoreError:
+                        comm.send((False, None), source, reply_tag)
+                    else:
+                        comm.send((True, rec), source, reply_tag)
+                else:  # write_meta
+                    self.metadata.insert(subject)
+                    comm.send((True, None), source, reply_tag)
+            except (CommClosedError, CommError):
+                # replying to a torn-down world (or after our own
+                # injected death) ends the service loop — a crashed
+                # daemon stops serving
+                return
+            except (FanStoreError, TypeError, ValueError, AttributeError):
+                # a well-framed envelope around a nonsense subject (bad
+                # path type, bogus write_meta record) is still malformed
                 self.stats.malformed_requests += 1
 
     # -- data path ------------------------------------------------------------
@@ -275,6 +326,52 @@ class FanStoreDaemon:
     def _next_reply_tag(self) -> int:
         with self._reply_lock:
             return next(self._reply_tags)
+
+    def _backoff(self, attempt: int) -> float:
+        """Capped exponential backoff with seeded jitter for retry
+        ``attempt`` (1-based)."""
+        cfg = self.config
+        delay = min(
+            cfg.retry_backoff_max,
+            cfg.retry_backoff_base * (2 ** (attempt - 1)),
+        )
+        return delay * (1.0 + cfg.retry_jitter * self._retry_rng.random())
+
+    def _request(
+        self, kind: str, body: Any, dest: int, *, attempts: int | None = None
+    ) -> tuple[bool, Any]:
+        """One request/reply exchange with a bounded retry budget.
+
+        Every attempt uses a *fresh* reply tag, so a reply that arrives
+        after its attempt already timed out rots harmlessly in the
+        mailbox instead of being mistaken for the answer to a later
+        request. ``CommClosedError`` (world teardown) and
+        ``RankDeadError`` (this rank is the dead one) are not retried —
+        no amount of resending survives either.
+        """
+        comm = self.comm
+        assert comm is not None
+        if attempts is None:
+            attempts = 1 + max(0, self.config.max_retries)
+        last_exc: CommError | None = None
+        for attempt in range(attempts):
+            if attempt:
+                self.stats.retries += 1
+                time.sleep(self._backoff(attempt))
+            reply_tag = self._next_reply_tag()
+            try:
+                comm.send((kind, (body, reply_tag)), dest, TAG_DAEMON)
+                return comm.recv(
+                    dest, reply_tag, timeout=self.config.request_timeout
+                )
+            except (CommClosedError, RankDeadError):
+                raise
+            except CommError as exc:
+                last_exc = exc
+        raise RetryExhaustedError(
+            f"rank {self.rank}: {kind} request to rank {dest} failed "
+            f"after {attempts} attempt(s): {last_exc}"
+        ) from last_exc
 
     def _lookup(self, norm: str) -> FileRecord:
         """Metadata lookup with the runtime-output fallback: paths
@@ -291,8 +388,10 @@ class FanStoreDaemon:
             return record
 
     def fetch_compressed(self, path: str) -> bytes:
-        """Compressed bytes for ``path`` — locally or from the home rank
-        over the interconnect (§IV-C2, Figure 2)."""
+        """Compressed bytes for ``path`` — locally, from the home rank,
+        from a surviving replica, or (degraded mode) re-read off the
+        shared FS (§IV-C2, Figure 2; failover ladder home → replicas →
+        partition file)."""
         norm = normalize(path)
         record = self._lookup(norm)
         if record.home_rank == self.rank or self.comm is None:
@@ -301,16 +400,67 @@ class FanStoreDaemon:
         if norm in self.backend:  # replicated via an extra partition
             self.stats.local_opens += 1
             return self.backend.get(norm)
-        comm = self.comm
-        reply_tag = self._next_reply_tag()
-        comm.send(("fetch", (norm, reply_tag)), record.home_rank, TAG_DAEMON)
-        ok, data = comm.recv(
-            record.home_rank, reply_tag, timeout=self.config.request_timeout
-        )
+        try:
+            ok, data = self._request("fetch", norm, record.home_rank)
+        except RetryExhaustedError as home_failure:
+            self.stats.failovers += 1
+            data = self._fetch_from_replicas(norm, record)
+            if data is None:
+                data = self._degraded_read(norm, record)
+            if data is None:
+                raise home_failure
+            return data
         if not ok:
+            # authoritative not-found from a live home rank: no failover
             raise FileNotFoundInStoreError(norm)
         self.stats.remote_fetches += 1
         self.stats.remote_bytes += len(data)
+        return data
+
+    def _fetch_from_replicas(self, norm: str, record: FileRecord) -> bytes | None:
+        """Second tier of the ladder: ranks that announced a ring-copied
+        replica of this path at load time."""
+        for replica in self.metadata.replica_ranks(norm):
+            if replica in (self.rank, record.home_rank):
+                continue
+            try:
+                ok, data = self._request(
+                    "fetch", norm, replica,
+                    attempts=max(1, self.config.failover_attempts),
+                )
+            except RetryExhaustedError:
+                continue
+            if ok:
+                self.stats.remote_fetches += 1
+                self.stats.remote_bytes += len(data)
+                return data
+        return None
+
+    def _degraded_read(self, norm: str, record: FileRecord) -> bytes | None:
+        """Floor of the ladder: the prepared partition files never left
+        the shared FS, so when home and replicas are all gone the
+        payload can be re-read at its recorded offset — slow (the exact
+        contention §IV-C1 staged data to avoid) but correct. The copy is
+        promoted into the local backend so one outage costs one
+        shared-FS round trip, not one per epoch."""
+        if self._prepared is None or record.data_offset < 0:
+            return None  # runtime output: bytes exist only on its writer
+        paths = self._prepared.partition_paths()
+        if record.partition_id < len(paths):
+            part = paths[record.partition_id]
+        elif record.is_broadcast:
+            part = self._prepared.broadcast_path()
+        else:
+            return None
+        if part is None or not part.exists():
+            return None
+        with open(part, "rb") as fh:
+            fh.seek(record.data_offset)
+            data = fh.read(record.compressed_size)
+        if len(data) != record.compressed_size:
+            return None
+        self.stats.degraded_reads += 1
+        self.backend.put(norm, data)
         return data
 
     def _decompress(self, record: FileRecord, data: bytes) -> bytes:
@@ -362,13 +512,10 @@ class FanStoreDaemon:
         if self.comm is not None:
             owner = self._hash_owner(norm)
             if owner != self.rank:
-                reply_tag = self._next_reply_tag()
-                self.comm.send(
-                    ("write_meta", (record, reply_tag)), owner, TAG_DAEMON
-                )
-                self.comm.recv(
-                    owner, reply_tag, timeout=self.config.request_timeout
-                )
+                # retried like any request/reply site; RetryExhaustedError
+                # propagates — the caller must know the path is not yet
+                # globally discoverable (bytes are safe on this rank).
+                self._request("write_meta", record, owner)
 
     def stat_any(self, path: str) -> FileRecord | None:
         """Metadata lookup that falls back to the hash owner for paths
@@ -383,9 +530,5 @@ class FanStoreDaemon:
         owner = self._hash_owner(norm)
         if owner == self.rank:
             return None
-        reply_tag = self._next_reply_tag()
-        self.comm.send(("stat", (norm, reply_tag)), owner, TAG_DAEMON)
-        ok, rec = self.comm.recv(
-            owner, reply_tag, timeout=self.config.request_timeout
-        )
+        ok, rec = self._request("stat", norm, owner)
         return rec if ok else None

@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import uuid
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
@@ -52,14 +53,46 @@ class CheckpointManager:
         return self.directory / f"checkpoint-{epoch:06d}.ckpt"
 
     def save(self, epoch: int, payload: dict[str, Any]) -> Path:
-        """Atomically persist ``payload`` as the epoch's checkpoint."""
+        """Atomically persist ``payload`` as the epoch's checkpoint.
+
+        The tmp name carries a pid+uuid suffix so two writers racing on
+        the same epoch (every rank of a relaunched job, say) never
+        clobber each other's half-written file, and the payload is
+        fsynced before the rename so a crash right after ``save``
+        returns still finds complete bytes behind the final name — the
+        §V-E resume point must survive exactly that crash.
+        """
         final = self._path_for(epoch)
-        tmp = final.with_suffix(".tmp")
-        tmp.write_text(json.dumps({"epoch": epoch, "state": payload}))
-        os.replace(tmp, final)
+        tmp = final.with_name(
+            f"{final.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+        )
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps({"epoch": epoch, "state": payload}))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, final)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        self._fsync_dir()
         if self.keep_last is not None:
             self._prune()
         return final
+
+    def _fsync_dir(self) -> None:
+        """Persist the rename itself (the directory entry), where the
+        platform allows opening a directory read-only."""
+        try:
+            dir_fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass
+        finally:
+            os.close(dir_fd)
 
     def epochs(self) -> list[int]:
         """Checkpointed epochs, ascending."""

@@ -61,6 +61,10 @@ class MetadataTable:
         self._lock = threading.RLock()
         self._files: dict[str, FileRecord] = {}
         self._dirs: dict[str, set[str]] = {"": set()}
+        # path → ranks holding ring-replicated copies besides the home
+        # rank (announced during the load-time allgather); the failover
+        # tier between "ask the home rank" and "re-read the shared FS"
+        self._replicas: dict[str, set[int]] = {}
 
     # -- construction -----------------------------------------------------
 
@@ -111,6 +115,25 @@ class MetadataTable:
                 if existing is not None and existing.home_rank <= rec.home_rank:
                     continue
                 self.insert(rec)
+
+    def add_replica(self, path: str, rank: int) -> None:
+        """Record that ``rank`` holds a replica of ``path``'s compressed
+        bytes (in addition to the home rank)."""
+        norm = normalize(path)
+        with self._lock:
+            self._replicas.setdefault(norm, set()).add(rank)
+
+    def replica_ranks(self, path: str) -> tuple[int, ...]:
+        """Ranks holding replicas of ``path``, ascending (deterministic
+        failover order; may include the home rank — callers skip it)."""
+        norm = normalize(path)
+        with self._lock:
+            return tuple(sorted(self._replicas.get(norm, ())))
+
+    def replica_count(self) -> int:
+        """Number of paths with at least one known replica."""
+        with self._lock:
+            return len(self._replicas)
 
     # -- queries ----------------------------------------------------------
 

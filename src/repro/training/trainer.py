@@ -74,6 +74,7 @@ class DataParallelTrainer:
         log_client: FanStoreClient | None = None,
         log_path: str | None = None,
         fusion_bytes: int | None = None,
+        comm_timeout: float | None = None,
     ) -> None:
         self.model = model
         self.loader = loader
@@ -90,6 +91,11 @@ class DataParallelTrainer:
         #: §II-A's fusion buffer: gradients allreduce in buckets of this
         #: many bytes instead of one monolithic call. None = monolithic.
         self.fusion_bytes = fusion_bytes
+        #: bound on each gradient allreduce (None = communicator
+        #: default). Fault-recovery drills set this low so survivors of
+        #: a dead rank abort the epoch in seconds, not at the default
+        #: collective timeout.
+        self.comm_timeout = comm_timeout
 
     # -- checkpoint plumbing ------------------------------------------------
 
@@ -138,13 +144,16 @@ class DataParallelTrainer:
             x, labels = self.collate(batch)
             loss, grads = self.model.loss_and_gradients(x, labels)
             if self.comm is not None and self.comm.size > 1:
+                kw = {} if self.comm_timeout is None else {
+                    "timeout": self.comm_timeout
+                }
                 if self.fusion_bytes is not None:
                     grads = bucketed_allreduce(
                         self.comm, grads, self.fusion_bytes
                     )
                 else:
-                    grads = self.comm.allreduce(grads, np.add) / self.comm.size
-                loss = self.comm.allreduce(loss, lambda a, b: a + b) / self.comm.size
+                    grads = self.comm.allreduce(grads, np.add, **kw) / self.comm.size
+                loss = self.comm.allreduce(loss, lambda a, b: a + b, **kw) / self.comm.size
             self.model.apply_gradients(grads, self.lr)
             report.iterations += 1
             report.losses.append(float(loss))

@@ -1,0 +1,171 @@
+"""The fault-injection layer: rule matching, seeded determinism, the
+drop/delay/duplicate actions, and rank-death semantics."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.comm.chaos import ChaosWorld, FaultPlan
+from repro.comm.launcher import run_parallel
+from repro.errors import CommError, RankDeadError
+
+
+class TestRules:
+    def test_drop_consumes_its_budget_then_delivers(self):
+        plan = FaultPlan(seed=1).drop(source=0, dest=1, tag=7, times=1)
+        world = ChaosWorld(2, plan)
+        c0, c1 = world.comm(0), world.comm(1)
+        c0.send("lost", 1, tag=7)
+        c0.send("kept", 1, tag=7)
+        assert c1.recv(source=0, tag=7, timeout=2) == "kept"
+        assert plan.stats.dropped == 1
+
+    def test_drop_matches_only_its_predicate(self):
+        plan = FaultPlan(seed=1).drop(tag=9, times=None)
+        world = ChaosWorld(2, plan)
+        c0, c1 = world.comm(0), world.comm(1)
+        c0.send("a", 1, tag=3)  # different tag: untouched
+        assert c1.recv(source=0, tag=3, timeout=2) == "a"
+        c0.send("b", 1, tag=9)
+        with pytest.raises(CommError):
+            c1.recv(source=0, tag=9, timeout=0.1)
+
+    def test_min_tag_targets_reply_band(self):
+        """min_tag isolates the daemon's reply tags (all >= 0x1000)
+        from its request tag, the way the failover tests use it."""
+        plan = FaultPlan(seed=1).drop(min_tag=0x1000, times=1)
+        world = ChaosWorld(2, plan)
+        c0, c1 = world.comm(0), world.comm(1)
+        c0.send("request", 1, tag=0x0FA0)  # below the band: delivered
+        assert c1.recv(source=0, tag=0x0FA0, timeout=2) == "request"
+        c0.send("reply", 1, tag=0x1234)  # first in band: dropped
+        with pytest.raises(CommError):
+            c1.recv(source=0, tag=0x1234, timeout=0.1)
+
+    def test_delay_delivers_late_not_never(self):
+        plan = FaultPlan(seed=1).delay(0.25, tag=5, times=1)
+        world = ChaosWorld(2, plan)
+        c0, c1 = world.comm(0), world.comm(1)
+        c0.send("slow", 1, tag=5)
+        with pytest.raises(CommError):
+            c1.recv(source=0, tag=5, timeout=0.05)  # not yet
+        assert c1.recv(source=0, tag=5, timeout=2) == "slow"
+        assert plan.stats.delayed == 1
+
+    def test_duplicate_delivers_twice(self):
+        plan = FaultPlan(seed=1).duplicate(tag=4, times=1)
+        world = ChaosWorld(2, plan)
+        c0, c1 = world.comm(0), world.comm(1)
+        c0.send("twin", 1, tag=4)
+        assert c1.recv(source=0, tag=4, timeout=2) == "twin"
+        assert c1.recv(source=0, tag=4, timeout=2) == "twin"
+        assert plan.stats.duplicated == 1
+
+    def test_first_matching_rule_wins(self):
+        plan = (
+            FaultPlan(seed=1)
+            .drop(tag=6, times=1)
+            .duplicate(tag=6, times=None)
+        )
+        world = ChaosWorld(2, plan)
+        c0, c1 = world.comm(0), world.comm(1)
+        c0.send("one", 1, tag=6)  # dropped by the first rule
+        c0.send("two", 1, tag=6)  # first rule spent: duplicated
+        assert c1.recv(source=0, tag=6, timeout=2) == "two"
+        assert c1.recv(source=0, tag=6, timeout=2) == "two"
+
+
+class TestDeterminism:
+    def _decisions(self, seed: int) -> list[str]:
+        plan = FaultPlan(seed=seed).drop(probability=0.4, times=None)
+        return [plan.decide(0, 1, 0)[0] for _ in range(128)]
+
+    def test_same_seed_same_schedule(self):
+        assert self._decisions(42) == self._decisions(42)
+
+    def test_probability_actually_mixes(self):
+        outcomes = set(self._decisions(42))
+        assert outcomes == {"drop", "deliver"}
+
+    def test_different_seeds_diverge(self):
+        assert self._decisions(1) != self._decisions(2)
+
+
+class TestRankDeath:
+    def test_dead_rank_operations_raise(self):
+        plan = FaultPlan().kill(1)
+        world = ChaosWorld(2, plan)
+        world.kill(1)
+        dead = world.comm(1)
+        with pytest.raises(RankDeadError):
+            dead.send("x", 0)
+        with pytest.raises(RankDeadError):
+            dead.recv(source=0, timeout=1)
+        with pytest.raises(RankDeadError):
+            dead.barrier(timeout=1)
+
+    def test_sends_to_dead_rank_are_blackholed(self):
+        world = ChaosWorld(2, FaultPlan())
+        world.kill(1)
+        world.comm(0).send("into the void", 1)  # must not raise
+        assert world.plan.stats.blackholed == 1
+
+    def test_kill_wakes_a_parked_recv(self):
+        world = ChaosWorld(2, FaultPlan())
+        comm = world.comm(1)
+        caught: dict[str, BaseException] = {}
+
+        def park() -> None:
+            try:
+                comm.recv(source=0, timeout=30)
+            except BaseException as exc:  # noqa: BLE001 - asserted below
+                caught["exc"] = exc
+
+        thread = threading.Thread(target=park, daemon=True)
+        thread.start()
+        time.sleep(0.1)
+        start = time.perf_counter()
+        world.kill(1)
+        thread.join(5)
+        assert not thread.is_alive()
+        assert time.perf_counter() - start < 5
+        assert isinstance(caught["exc"], RankDeadError)
+
+    def test_kill_after_sends_triggers_mid_run(self):
+        plan = FaultPlan().kill(0, after_sends=2)
+        world = ChaosWorld(2, plan)
+        c0, c1 = world.comm(0), world.comm(1)
+        c0.send("a", 1, tag=1)
+        c0.send("b", 1, tag=1)  # crosses the threshold; still delivered
+        with pytest.raises(RankDeadError):
+            c0.send("c", 1, tag=1)
+        assert c1.recv(source=0, tag=1, timeout=2) == "a"
+        assert c1.recv(source=0, tag=1, timeout=2) == "b"
+
+    def test_collective_with_dead_rank_times_out_for_peers(self):
+        """Peers of a dead rank see the MPI signature of a crashed node:
+        the collective never completes."""
+        world = ChaosWorld(2, FaultPlan())
+        world.kill(1)
+        with pytest.raises(CommError):
+            world.comm(0).barrier(timeout=0.3)
+
+
+class TestRunParallelIntegration:
+    def test_chaos_world_drops_into_the_launcher(self):
+        plan = FaultPlan(seed=3).drop(tag=2, times=1)
+        world = ChaosWorld(2, plan)
+
+        def body(comm):
+            if comm.rank == 0:
+                comm.send("lost", 1, tag=2)
+                comm.send("kept", 1, tag=2)
+                return None
+            return comm.recv(source=0, tag=2, timeout=5)
+
+        results = run_parallel(body, 2, world=world, timeout=15)
+        assert results[1] == "kept"
+        assert plan.stats.dropped == 1

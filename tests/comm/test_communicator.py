@@ -3,13 +3,14 @@
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 import pytest
 
 from repro.comm.communicator import ANY_SOURCE, ANY_TAG, World
 from repro.comm.launcher import run_parallel
-from repro.errors import CommError, RankError
+from repro.errors import CommClosedError, CommError, RankError
 
 
 class TestWorldConstruction:
@@ -191,3 +192,65 @@ class TestCollectives:
         assert comm.allgather("x", timeout=1) == ["x"]
         assert comm.allreduce(5, lambda a, b: a + b, timeout=1) == 5
         comm.barrier(timeout=1)
+
+
+class TestTeardown:
+    """World.close() must unblock every parked operation promptly with
+    CommClosedError — a failed rank cannot leave its peers waiting out
+    a 30 s timeout at each of recv, irecv, and a half-arrived
+    collective."""
+
+    def _park(self, fn) -> tuple[threading.Thread, dict]:
+        caught: dict[str, BaseException] = {}
+
+        def target() -> None:
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 - asserted below
+                caught["exc"] = exc
+
+        thread = threading.Thread(target=target, daemon=True)
+        thread.start()
+        time.sleep(0.1)  # let it reach the blocking wait
+        return thread, caught
+
+    def _close_and_check(self, world: World, thread, caught) -> None:
+        start = time.perf_counter()
+        world.close()
+        thread.join(5)
+        assert not thread.is_alive()
+        assert time.perf_counter() - start < 2  # promptly, not at timeout
+        assert isinstance(caught["exc"], CommClosedError)
+
+    def test_close_unblocks_parked_recv(self):
+        world = World(2)
+        thread, caught = self._park(
+            lambda: world.comm(0).recv(source=1, timeout=30)
+        )
+        self._close_and_check(world, thread, caught)
+
+    def test_close_unblocks_parked_irecv(self):
+        world = World(2)
+        req = world.comm(0).irecv(source=1, tag=3)
+        thread, caught = self._park(lambda: req.wait(timeout=30))
+        self._close_and_check(world, thread, caught)
+
+    def test_close_unblocks_half_arrived_collective(self):
+        world = World(3)
+        # two of three ranks arrive; the third never will
+        t0, c0 = self._park(lambda: world.comm(0).barrier(timeout=30))
+        t1, c1 = self._park(lambda: world.comm(1).barrier(timeout=30))
+        start = time.perf_counter()
+        world.close()
+        t0.join(5)
+        t1.join(5)
+        assert not t0.is_alive() and not t1.is_alive()
+        assert time.perf_counter() - start < 2
+        assert isinstance(c0["exc"], CommClosedError)
+        assert isinstance(c1["exc"], CommClosedError)
+
+    def test_recv_after_close_raises_immediately(self):
+        world = World(2)
+        world.close()
+        with pytest.raises(CommClosedError):
+            world.comm(0).recv(source=1, timeout=30)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.errors import FanStoreError
@@ -56,6 +58,31 @@ class TestSaveLoad:
         mgr = CheckpointManager(tmp_path)
         mgr.save(1, {"big": list(range(100))})
         assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestAtomicity:
+    def test_racing_saves_on_one_epoch_never_corrupt(self, tmp_path):
+        """Every rank of a relaunched job may save the same epoch at
+        once; unique tmp names mean the survivor is always one complete
+        payload, never an interleaving of two writers."""
+        mgr = CheckpointManager(tmp_path)
+        payloads = [{"rank": r, "params": [float(r)] * 64} for r in range(8)]
+        threads = [
+            threading.Thread(target=mgr.save, args=(5, p)) for p in payloads
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not list(tmp_path.glob("*.tmp"))
+        assert mgr.load(5).payload in payloads
+
+    def test_failed_save_removes_its_tmp(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        with pytest.raises(TypeError):
+            mgr.save(1, {"bad": object()})  # not JSON-serializable
+        assert not list(tmp_path.glob("*.tmp"))
+        assert mgr.epochs() == []
 
 
 class TestPruning:

@@ -1,14 +1,24 @@
 """§V-E end-to-end: a node failure mid-training, relaunch at the same
 scale, resume from the last epoch checkpoint, and converge to the exact
-state an uninterrupted run reaches."""
+state an uninterrupted run reaches.
+
+Two flavors of failure live here: a simulated one (a loader that raises
+partway, taking the whole launch down) and the real chaos drill — a
+rank killed by the fault-injection layer while its peers keep running,
+abort fast on ``comm_timeout``, and a relaunched world resumes.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
+from repro.comm.chaos import ChaosWorld, FaultPlan
 from repro.comm.launcher import ParallelFailure, run_parallel
+from repro.errors import CommError
+from repro.fanstore.daemon import TAG_DAEMON, DaemonConfig
 from repro.fanstore.faults import CheckpointManager
+from repro.fanstore.metadata import normalize
 from repro.fanstore.store import FanStore
 from repro.training.loader import SyncLoader, list_training_files
 from repro.training.models import MLP
@@ -43,7 +53,8 @@ class _CrashingLoader:
             yield batch
 
 
-def _make_trainer(fs, comm, ckpt_dir, epochs, crash_after=None):
+def _make_trainer(fs, comm, ckpt_dir, epochs, crash_after=None,
+                  comm_timeout=None):
     files = [p for p in list_training_files(fs.client) if p.startswith("cls")]
     loader = SyncLoader(
         fs.client, files, batch_size=6, epochs=epochs,
@@ -62,6 +73,7 @@ def _make_trainer(fs, comm, ckpt_dir, epochs, crash_after=None):
         comm=comm,
         lr=0.2,
         checkpoints=CheckpointManager(ckpt_dir),
+        comm_timeout=comm_timeout,
     )
 
 
@@ -114,6 +126,152 @@ def test_crash_then_resume_matches_uninterrupted(prepared_dataset, tmp_path):
         # deterministic loaders + averaged gradients ⇒ bit-identical
         # final state to the run that never crashed
         np.testing.assert_array_equal(params, reference)
+
+
+# -- the real thing: a rank killed by the chaos layer --------------------
+
+CHAOS_SEEDS = (101, 202, 303)
+seeds = pytest.mark.parametrize(
+    "seed", CHAOS_SEEDS, ids=[f"seed{s}" for s in CHAOS_SEEDS]
+)
+
+DEAD = 2
+TOTAL_EPOCHS = 4
+CRASH_AFTER = 2  # epochs completed (and checkpointed) before the kill
+_TAG_DONE = 0x0D0E
+
+#: tight budgets so a dead rank costs seconds, not default timeouts
+FAST = dict(
+    request_timeout=0.4,
+    max_retries=1,
+    retry_backoff_base=0.01,
+    retry_backoff_max=0.05,
+)
+
+
+@pytest.fixture(scope="module")
+def originals(raw_dataset_dir):
+    """store path → raw bytes, for byte-identity assertions."""
+    expected = {}
+    train = raw_dataset_dir / "train"
+    for p in sorted(train.rglob("*")):
+        if p.is_file():
+            expected[normalize(str(p.relative_to(train)))] = p.read_bytes()
+    for p in sorted((raw_dataset_dir / "val").iterdir()):
+        if p.is_file():
+            expected[f"val/{p.name}"] = p.read_bytes()
+    return expected
+
+
+@pytest.fixture(scope="module")
+def drill_reference_params(prepared_dataset, tmp_path_factory):
+    """Final parameters of a clean, never-crashed TOTAL_EPOCHS run —
+    the drill must land on exactly these."""
+    ckpt = tmp_path_factory.mktemp("drill-ref-ckpt")
+
+    def body(comm):
+        config = DaemonConfig(**FAST)
+        with FanStore(prepared_dataset, comm=comm, config=config) as fs:
+            trainer = _make_trainer(fs, comm, ckpt, TOTAL_EPOCHS)
+            report = trainer.train()
+            assert report.epochs_completed == TOTAL_EPOCHS
+            return trainer.model.get_flat_params()
+
+    results = run_parallel(body, NODES, timeout=300)
+    for r in results[1:]:
+        np.testing.assert_array_equal(r, results[0])
+    return results[0]
+
+
+class TestChaosRecoveryDrill:
+    """The acceptance drill: kill a rank mid-job under chaos, relaunch
+    the world at the same size, resume from the latest checkpoint, and
+    finish with byte-identical reads and bit-identical parameters."""
+
+    @seeds
+    def test_kill_relaunch_resume(
+        self, seed, prepared_dataset, originals, drill_reference_params,
+        tmp_path,
+    ):
+        ckpt_dir = tmp_path / "ckpt"
+        config = DaemonConfig(**FAST)
+        # light chaos while the healthy epochs train: a few delayed
+        # daemon requests, well inside the request timeout
+        plan = FaultPlan(seed).delay(0.02, tag=TAG_DAEMON, times=4)
+        world = ChaosWorld(NODES, plan)
+
+        # -- phase 1: train, crash, abort fast ---------------------------
+        def phase1(comm):
+            fs = FanStore(prepared_dataset, comm=comm, config=config)
+            trainer = _make_trainer(fs, comm, ckpt_dir, CRASH_AFTER)
+            report = trainer.train()
+            assert report.epochs_completed == CRASH_AFTER
+            comm.barrier()
+            if comm.rank == 0:
+                world.kill(DEAD)
+            # the job pushes on for the remaining epochs, but one rank
+            # is now a corpse: its own ops raise RankDeadError, and the
+            # survivors' next allreduce must give up at comm_timeout
+            resumed = _make_trainer(
+                fs, comm, ckpt_dir, TOTAL_EPOCHS, comm_timeout=2.0
+            )
+            try:
+                resumed.train(resume=True)
+            except CommError:
+                outcome = (
+                    "died" if world.plan.is_dead(comm.rank) else "aborted"
+                )
+            else:
+                outcome = "finished"  # must not happen with a corpse
+            if outcome != "aborted":
+                return outcome
+            # survivors skip the collective shutdown barrier (it would
+            # wait on the corpse); drain pairwise — each must keep
+            # serving until the other is done too — then stop
+            other = 1 - comm.rank
+            comm.send("done", other, _TAG_DONE)
+            comm.recv(other, _TAG_DONE, timeout=60)
+            fs.daemon.stop()
+            return outcome
+
+        results = run_parallel(phase1, NODES, world=world, timeout=300)
+        assert results[DEAD] == "died"
+        assert results[0] == results[1] == "aborted"
+
+        # the crash left exactly the healthy epochs' checkpoints — no
+        # missing epoch, no corrupt payload, no stray tmp files
+        mgr = CheckpointManager(ckpt_dir)
+        assert mgr.epochs() == list(range(CRASH_AFTER))
+        for epoch in mgr.epochs():
+            assert mgr.load(epoch).payload["params"]
+        assert list(ckpt_dir.glob("*.tmp")) == []
+
+        # -- phase 2: relaunch at the same size and resume ---------------
+        def phase2(comm):
+            with FanStore(prepared_dataset, comm=comm, config=config) as fs:
+                data = {
+                    rec.path: fs.client.read_file(rec.path)
+                    for rec in fs.daemon.metadata.walk_files()
+                }
+                assert data == originals  # byte-identical training reads
+                trainer = _make_trainer(fs, comm, ckpt_dir, TOTAL_EPOCHS)
+                report = trainer.train(resume=True)
+                return (
+                    report.resumed_from_epoch,
+                    report.epochs_completed,
+                    trainer.model.get_flat_params(),
+                )
+
+        results = run_parallel(phase2, NODES, timeout=300)
+        for resumed_from, completed, params in results:
+            assert resumed_from == CRASH_AFTER - 1
+            assert completed == TOTAL_EPOCHS - CRASH_AFTER
+            # bit-identical to the run that never crashed
+            np.testing.assert_array_equal(params, drill_reference_params)
+
+        # the relaunched job filled in the missing epochs' checkpoints
+        assert mgr.epochs() == list(range(TOTAL_EPOCHS))
+        assert list(ckpt_dir.glob("*.tmp")) == []
 
 
 def test_resume_requires_same_checkpoint_payload(prepared_dataset, tmp_path):
