@@ -26,6 +26,27 @@ class FanStoreError(ReproError):
     """Base class for FanStore runtime errors."""
 
 
+class ManifestError(FanStoreError, FormatError):
+    """A dataset manifest is missing, truncated, hand-edited, or fails
+    its schema/digest validation."""
+
+
+class DataIntegrityError(FanStoreError, OSError):
+    """Stored bytes failed digest verification and could not be
+    repaired from any replica or shared-FS copy (the EIO of the store:
+    ``errno`` is set accordingly and ``filename`` names the path)."""
+
+    def __init__(self, path: str, detail: str = "") -> None:
+        import errno as _errno
+
+        message = f"{path}: data integrity violation"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+        self.errno = _errno.EIO
+        self.filename = path
+
+
 class FileNotFoundInStoreError(FanStoreError, FileNotFoundError):
     """The requested path does not exist in the FanStore namespace."""
 

@@ -12,6 +12,8 @@ Subsystems map one-to-one onto the paper's design sections:
 - :mod:`~repro.fanstore.interception` — user-space call interposition (§V-C)
 - :mod:`~repro.fanstore.store` — the per-node facade tying it together
 - :mod:`~repro.fanstore.faults` — checkpoint/resume convention (§V-E)
+- :mod:`~repro.fanstore.scrub` — background self-healing digest sweeps
+- :mod:`~repro.fanstore.corruption` — deterministic storage-fault injection
 """
 
 from repro.fanstore.backend import DiskBackend, PartitionBackend, RamBackend
@@ -23,20 +25,30 @@ from repro.fanstore.client import (
     FanStoreClient,
     FanStoreFile,
 )
+from repro.fanstore.corruption import (
+    CorruptionEvent,
+    StorageFaultPlan,
+    corrupt_backend,
+    corrupt_record,
+)
 from repro.fanstore.daemon import DaemonConfig, DaemonStats, FanStoreDaemon
 from repro.fanstore.faults import Checkpoint, CheckpointManager
 from repro.fanstore.interception import intercept
 from repro.fanstore.layout import (
     FLAG_BROADCAST,
+    FLAG_HAS_DIGEST,
     FLAG_OUTPUT,
     FileStat,
     PartitionEntry,
+    blob_crc32,
+    entry_payload_ok,
     iter_partition,
     read_partition,
     write_partition,
 )
 from repro.fanstore.metadata import FileRecord, MetadataTable, normalize
 from repro.fanstore.prepare import PreparedDataset, prepare_dataset
+from repro.fanstore.scrub import ScrubReport, Scrubber
 from repro.fanstore.store import FanStore
 
 __all__ = [
@@ -61,11 +73,20 @@ __all__ = [
     "iter_partition",
     "FLAG_BROADCAST",
     "FLAG_OUTPUT",
+    "FLAG_HAS_DIGEST",
+    "blob_crc32",
+    "entry_payload_ok",
     "prepare_dataset",
     "PreparedDataset",
     "intercept",
     "CheckpointManager",
     "Checkpoint",
+    "Scrubber",
+    "ScrubReport",
+    "StorageFaultPlan",
+    "CorruptionEvent",
+    "corrupt_record",
+    "corrupt_backend",
     "O_RDONLY",
     "O_WRONLY",
     "O_CREAT",

@@ -14,7 +14,7 @@ import os
 import threading
 from pathlib import Path
 
-from repro.errors import FileNotFoundInStoreError
+from repro.errors import DataIntegrityError, FileNotFoundInStoreError
 
 
 class RamBackend:
@@ -34,6 +34,12 @@ class RamBackend:
                 return self._objects[path]
             except KeyError:
                 raise FileNotFoundInStoreError(path) from None
+
+    def discard(self, path: str) -> bool:
+        """Quarantine: drop a (corrupt) copy so it is never served
+        again; True if a copy was present."""
+        with self._lock:
+            return self._objects.pop(path, None) is not None
 
     def __contains__(self, path: str) -> bool:
         with self._lock:
@@ -96,10 +102,22 @@ class PartitionBackend:
             handle = self._handle(partition_file)
         data = os.pread(handle.fileno(), size, offset)
         if len(data) != size:
-            raise FileNotFoundInStoreError(
-                f"{path}: short pread from {partition_file}"
+            # the entry is indexed but its bytes are gone: a truncated
+            # or torn partition file is corruption, not absence
+            raise DataIntegrityError(
+                path,
+                f"short pread from {partition_file.name}: "
+                f"{len(data)} of {size} bytes at offset {offset}",
             )
         return data
+
+    def discard(self, path: str) -> bool:
+        """Quarantine: forget both the overlay copy and the index entry
+        pointing into the (corrupt) partition region."""
+        with self._lock:
+            had_overlay = self._overlay.pop(path, None) is not None
+            had_index = self._index.pop(path, None) is not None
+            return had_overlay or had_index
 
     def __contains__(self, path: str) -> bool:
         with self._lock:
@@ -159,6 +177,15 @@ class DiskBackend:
         if blob is None:
             raise FileNotFoundInStoreError(path)
         return blob.read_bytes()
+
+    def discard(self, path: str) -> bool:
+        """Quarantine: unlink the (corrupt) blob and forget it."""
+        with self._lock:
+            blob = self._index.pop(path, None)
+        if blob is None:
+            return False
+        blob.unlink(missing_ok=True)
+        return True
 
     def __contains__(self, path: str) -> bool:
         with self._lock:

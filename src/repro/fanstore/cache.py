@@ -33,6 +33,7 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     rejected: int = 0  # entries larger than the whole cache
+    quarantined: int = 0  # entries discarded after integrity failures
 
     @property
     def hit_rate(self) -> float:
@@ -43,6 +44,7 @@ class CacheStats:
 class _Entry:
     data: bytes
     refcount: int = 0
+    doomed: bool = False  # quarantined while pinned; never served again
 
 
 class DecompressedCache:
@@ -78,7 +80,9 @@ class DecompressedCache:
         with self._lock:
             self.stats.opens += 1
             entry = self._entries.get(path)
-            if entry is None:
+            if entry is None or entry.doomed:
+                # a doomed entry's bytes came from data that later
+                # failed verification: force a re-fetch + re-verify
                 self.stats.misses += 1
                 return None
             self.stats.hits += 1
@@ -94,6 +98,15 @@ class DecompressedCache:
         with self._lock:
             entry = self._entries.get(path)
             if entry is not None:
+                if entry.doomed:
+                    # replace the quarantined bytes in place: readers
+                    # already holding the old object keep their (bad)
+                    # reference, but the path serves only fresh,
+                    # re-verified bytes from here on — and refcounts
+                    # stay consistent for every outstanding close()
+                    self._resident += len(data) - len(entry.data)
+                    entry.data = data
+                    entry.doomed = False
                 entry.refcount += 1
                 return entry.data
             self._make_room(len(data))
@@ -111,8 +124,24 @@ class DecompressedCache:
             if entry is None or entry.refcount <= 0:
                 raise FanStoreError(f"close of non-open cache entry {path!r}")
             entry.refcount -= 1
-            if entry.refcount == 0 and not self.retain_unpinned:
+            if entry.refcount == 0 and (entry.doomed or not self.retain_unpinned):
                 self._evict(path)
+
+    def discard(self, path: str) -> bool:
+        """Quarantine a path whose source bytes failed verification:
+        an unpinned entry is evicted immediately; a pinned one is
+        doomed — never served to a new open, freed at its last close.
+        Returns True if an entry was present."""
+        with self._lock:
+            entry = self._entries.get(path)
+            if entry is None:
+                return False
+            self.stats.quarantined += 1
+            if entry.refcount == 0:
+                self._evict(path)
+            else:
+                entry.doomed = True
+            return True
 
     # -- internals ----------------------------------------------------------
 

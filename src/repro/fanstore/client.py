@@ -32,8 +32,10 @@ from repro.fanstore.daemon import FanStoreDaemon
 from repro.fanstore.layout import (
     DEFAULT_BLOCK_SIZE,
     DEFAULT_FILE_MODE,
+    FLAG_HAS_DIGEST,
     FLAG_OUTPUT,
     FileStat,
+    blob_crc32,
 )
 from repro.fanstore.metadata import FileRecord, normalize
 
@@ -192,7 +194,8 @@ class FanStoreClient:
             st_ctime_ns=now_ns,
             st_atime_ns=now_ns,
             home_rank=self.daemon.rank,
-            flags=FLAG_OUTPUT,
+            flags=FLAG_OUTPUT | FLAG_HAS_DIGEST,
+            crc32=blob_crc32(stored),
         )
         record = FileRecord(
             path=state.path,

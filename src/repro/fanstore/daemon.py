@@ -43,6 +43,7 @@ from repro.errors import (
     CapacityError,
     CommClosedError,
     CommError,
+    DataIntegrityError,
     FanStoreError,
     FileNotFoundInStoreError,
     RankDeadError,
@@ -50,7 +51,7 @@ from repro.errors import (
 )
 from repro.fanstore.backend import DiskBackend, RamBackend
 from repro.fanstore.cache import DecompressedCache
-from repro.fanstore.layout import read_partition
+from repro.fanstore.layout import blob_crc32, read_partition
 from repro.fanstore.metadata import FileRecord, MetadataTable, normalize
 from repro.fanstore.prepare import PreparedDataset
 
@@ -74,6 +75,9 @@ class DaemonStats:
     retries: int = 0  # re-sent request/reply attempts (lost or late replies)
     failovers: int = 0  # fetches that had to leave the home rank
     degraded_reads: int = 0  # payloads re-read from the shared FS
+    corruption_detected: int = 0  # payloads that failed digest verification
+    corruption_repaired: int = 0  # of those, healed via the failover ladder
+    records_scrubbed: int = 0  # records verified by the background scrubber
 
 
 @dataclass(frozen=True)
@@ -101,6 +105,10 @@ class DaemonConfig:
     #: Checkpoints/logs are written once and rarely re-read (§II-B3), so
     #: a slow-but-dense codec is usually the right choice here.
     output_compressor: str | None = None
+    #: digest-check every compressed payload before it is decompressed
+    #: or served (records without a recorded digest always pass); the
+    #: cached-plaintext fast path is unaffected either way.
+    verify_reads: bool = True
 
 
 class FanStoreDaemon:
@@ -296,9 +304,15 @@ class FanStoreDaemon:
                 if kind == "fetch":
                     self.stats.served_requests += 1
                     try:
-                        data = self.backend.get(subject)
+                        data = self._verified_local(subject)
                     except FileNotFoundInStoreError:
                         comm.send((False, subject), source, reply_tag)
+                    except DataIntegrityError:
+                        # never serve bytes that failed verification and
+                        # could not be self-repaired; no reply at all,
+                        # so the requester times out and walks its own
+                        # failover ladder (replicas, shared FS)
+                        continue
                     else:
                         comm.send((True, data), source, reply_tag)
                 elif kind == "stat":
@@ -387,19 +401,47 @@ class FanStoreDaemon:
             self.metadata.insert(record)
             return record
 
+    def _blob_ok(self, record: FileRecord, data: bytes) -> bool:
+        """Digest check of compressed bytes against the record; passes
+        when verification is off or no digest was recorded."""
+        if not self.config.verify_reads or not record.stat.has_digest:
+            return True
+        return blob_crc32(data) == record.stat.crc32
+
+    def _verified_local(self, norm: str, record: FileRecord | None = None) -> bytes:
+        """Local backend bytes, digest-checked; a corrupt copy is
+        quarantined and self-repaired through the failover ladder.
+        Raises :class:`DataIntegrityError` when unrepairable and
+        :class:`FileNotFoundInStoreError` when simply absent."""
+        if record is None:
+            try:
+                record = self.metadata.get(norm)
+            except FileNotFoundInStoreError:
+                return self.backend.get(norm)
+        try:
+            data = self.backend.get(norm)
+        except DataIntegrityError:
+            # the backend itself flagged the bytes (torn partition file)
+            return self.repair(norm, record)
+        if self._blob_ok(record, data):
+            return data
+        return self.repair(norm, record)
+
     def fetch_compressed(self, path: str) -> bytes:
         """Compressed bytes for ``path`` — locally, from the home rank,
         from a surviving replica, or (degraded mode) re-read off the
         shared FS (§IV-C2, Figure 2; failover ladder home → replicas →
-        partition file)."""
+        partition file). Every tier's bytes are digest-verified before
+        they are accepted; a mismatch anywhere descends the ladder."""
         norm = normalize(path)
         record = self._lookup(norm)
-        if record.home_rank == self.rank or self.comm is None:
+        if (
+            record.home_rank == self.rank
+            or self.comm is None
+            or norm in self.backend  # replicated via an extra partition
+        ):
             self.stats.local_opens += 1
-            return self.backend.get(norm)
-        if norm in self.backend:  # replicated via an extra partition
-            self.stats.local_opens += 1
-            return self.backend.get(norm)
+            return self._verified_local(norm, record)
         try:
             ok, data = self._request("fetch", norm, record.home_rank)
         except RetryExhaustedError as home_failure:
@@ -415,11 +457,52 @@ class FanStoreDaemon:
             raise FileNotFoundInStoreError(norm)
         self.stats.remote_fetches += 1
         self.stats.remote_bytes += len(data)
+        if self._blob_ok(record, data):
+            return data
+        # the home rank served corrupt bytes (and could not self-heal):
+        # same quarantine + ladder as a corrupt local copy
+        return self.repair(norm, record)
+
+    def repair(self, path: str, record: FileRecord | None = None) -> bytes:
+        """Quarantine a corrupt copy of ``path`` and re-fetch verified
+        bytes through the failover ladder: home rank (when remote) →
+        announced replicas → shared-FS partition re-read. On success the
+        good bytes replace the corrupt copy in the backend and any
+        cached plaintext is discarded; on failure the corruption is
+        unrepairable and a typed :class:`DataIntegrityError` naming the
+        path is raised. Counts ``corruption_detected`` /
+        ``corruption_repaired``."""
+        norm = normalize(path)
+        if record is None:
+            record = self._lookup(norm)
+        self.stats.corruption_detected += 1
+        self.cache.discard(norm)
+        data: bytes | None = None
+        if self.comm is not None and record.home_rank != self.rank:
+            try:
+                ok, candidate = self._request("fetch", norm, record.home_rank)
+            except (RetryExhaustedError, RankDeadError):
+                ok, candidate = False, None
+            if ok and self._blob_ok(record, candidate):
+                data = candidate
+        if data is None and self.comm is not None:
+            data = self._fetch_from_replicas(norm, record)
+        if data is None:
+            data = self._degraded_read(norm, record)
+        if data is None:
+            raise DataIntegrityError(
+                norm,
+                "compressed payload failed digest verification and no "
+                "replica or shared-FS copy could repair it",
+            )
+        self.stats.corruption_repaired += 1
+        self.backend.put(norm, data)
         return data
 
     def _fetch_from_replicas(self, norm: str, record: FileRecord) -> bytes | None:
         """Second tier of the ladder: ranks that announced a ring-copied
-        replica of this path at load time."""
+        replica of this path at load time. A replica serving corrupt
+        bytes is skipped the same way an unreachable one is."""
         for replica in self.metadata.replica_ranks(norm):
             if replica in (self.rank, record.home_rank):
                 continue
@@ -430,7 +513,7 @@ class FanStoreDaemon:
                 )
             except RetryExhaustedError:
                 continue
-            if ok:
+            if ok and self._blob_ok(record, data):
                 self.stats.remote_fetches += 1
                 self.stats.remote_bytes += len(data)
                 return data
@@ -441,7 +524,8 @@ class FanStoreDaemon:
         the shared FS, so when home and replicas are all gone the
         payload can be re-read at its recorded offset — slow (the exact
         contention §IV-C1 staged data to avoid) but correct. The copy is
-        promoted into the local backend so one outage costs one
+        digest-checked (a corrupt partition file must not be promoted)
+        and then promoted into the local backend so one outage costs one
         shared-FS round trip, not one per epoch."""
         if self._prepared is None or record.data_offset < 0:
             return None  # runtime output: bytes exist only on its writer
@@ -458,6 +542,8 @@ class FanStoreDaemon:
             fh.seek(record.data_offset)
             data = fh.read(record.compressed_size)
         if len(data) != record.compressed_size:
+            return None
+        if not self._blob_ok(record, data):
             return None
         self.stats.degraded_reads += 1
         self.backend.put(norm, data)

@@ -10,6 +10,7 @@ writes, latest-checkpoint discovery, and pruning.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import re
@@ -18,9 +19,20 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
-from repro.errors import FanStoreError
+from repro.errors import DataIntegrityError, FanStoreError
 
 _CKPT_RE = re.compile(r"^checkpoint-(\d{6})\.ckpt$")
+
+
+def _payload_digest(epoch: int, payload: dict[str, Any]) -> str:
+    """Canonical sha256 of a checkpoint's content (epoch + state), so a
+    bit flip anywhere in the saved state is caught at load time."""
+    canon = json.dumps(
+        {"epoch": epoch, "state": payload},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -68,7 +80,11 @@ class CheckpointManager:
         )
         try:
             with open(tmp, "w", encoding="utf-8") as fh:
-                fh.write(json.dumps({"epoch": epoch, "state": payload}))
+                fh.write(json.dumps({
+                    "epoch": epoch,
+                    "state": payload,
+                    "sha256": _payload_digest(epoch, payload),
+                }))
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, final)
@@ -104,22 +120,56 @@ class CheckpointManager:
         return sorted(found)
 
     def load(self, epoch: int) -> Checkpoint:
+        """Load and *verify* one checkpoint: unparsable or structurally
+        wrong files raise :class:`~repro.errors.FanStoreError`; a parsed
+        file whose recorded payload digest no longer matches raises
+        :class:`~repro.errors.DataIntegrityError` naming the path.
+        Checkpoints saved before digests existed still load."""
         path = self._path_for(epoch)
         if not path.exists():
             raise FanStoreError(f"no checkpoint for epoch {epoch}")
-        blob = json.loads(path.read_text())
+        try:
+            blob = json.loads(path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise FanStoreError(
+                f"checkpoint {path.name} is truncated or corrupt ({exc})"
+            ) from exc
+        if not isinstance(blob, dict) or "state" not in blob:
+            raise FanStoreError(
+                f"checkpoint {path.name} has no state payload"
+            )
         if blob.get("epoch") != epoch:
             raise FanStoreError(
                 f"checkpoint {path.name} claims epoch {blob.get('epoch')}"
             )
+        recorded = blob.get("sha256")
+        if recorded is not None and recorded != _payload_digest(
+            epoch, blob["state"]
+        ):
+            raise DataIntegrityError(
+                str(path), "checkpoint payload digest mismatch"
+            )
         return Checkpoint(epoch=epoch, path=path, payload=blob["state"])
 
     def latest(self) -> Checkpoint | None:
-        """The resume point after a failure (§V-E), or None if fresh."""
+        """The resume point after a failure (§V-E), or None if fresh.
+
+        A corrupt newest checkpoint (the likeliest casualty — it was
+        being written when the node died) falls back to the previous
+        epoch rather than killing the resume; only when *every*
+        checkpoint fails verification does the error propagate, because
+        silently restarting from scratch would discard the run."""
         epochs = self.epochs()
         if not epochs:
             return None
-        return self.load(epochs[-1])
+        last_error: FanStoreError | None = None
+        for epoch in reversed(epochs):
+            try:
+                return self.load(epoch)
+            except FanStoreError as exc:  # includes DataIntegrityError
+                last_error = exc
+        assert last_error is not None
+        raise last_error
 
     def _prune(self) -> None:
         assert self.keep_last is not None

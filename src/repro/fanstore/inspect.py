@@ -2,8 +2,17 @@
 
 Operational tooling the original system ships alongside the preparation
 tool: inspect a packed dataset (manifest summary, per-partition entry
-listings, compressor histogram) and verify integrity by decompressing
-every entry against its stat record.
+listings, compressor histogram), verify integrity offline — per-record
+payload digests, whole-partition sha256 digests, and full decompression
+against stat records — and repair what verification finds:
+
+- ``--verify`` checks everything (``--sample N`` spot-checks the first
+  N records instead); the exit code is non-zero while any problem is
+  unrepaired, so the command slots into cron/CI as a scrub drill;
+- ``--repair`` rebuilds a missing or corrupt ``manifest.json`` from the
+  partition files themselves, and — given ``--source DATA_DIR`` —
+  re-compresses damaged records from the original files and rewrites
+  their partitions.
 """
 
 from __future__ import annotations
@@ -15,9 +24,18 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.compressors.registry import default_registry
-from repro.errors import FormatError
-from repro.fanstore.layout import read_partition
-from repro.fanstore.prepare import PreparedDataset
+from repro.errors import FormatError, ManifestError
+from repro.fanstore.layout import (
+    blob_crc32,
+    entry_payload_ok,
+    read_partition,
+    write_partition,
+)
+from repro.fanstore.prepare import (
+    BROADCAST_NAME,
+    PreparedDataset,
+    sha256_file,
+)
 from repro.util.units import format_bytes
 
 
@@ -55,8 +73,15 @@ def list_partition(path: Path, *, limit: int | None = None) -> str:
     return "\n".join(lines)
 
 
-def verify_dataset(root: Path) -> tuple[int, list[str]]:
-    """Decompress every entry and check it against its stat record.
+def verify_dataset(
+    root: Path, *, sample: int | None = None
+) -> tuple[int, list[str]]:
+    """Offline integrity check of a prepared dataset.
+
+    Three layers, cheapest problem wins per record: the whole-partition
+    sha256 recorded in the manifest (skipped when sampling), the
+    per-record payload crc32, and a full decompression against the stat
+    record. ``sample`` bounds the number of records checked.
 
     Returns ``(verified_count, problems)``.
     """
@@ -64,16 +89,28 @@ def verify_dataset(root: Path) -> tuple[int, list[str]]:
     registry = default_registry()
     problems: list[str] = []
     verified = 0
+    checked = 0
+    if sample is None:
+        for name in prepared.verify_partition_digests():
+            problems.append(f"{name}: partition digest mismatch")
     paths = prepared.partition_paths()
     if prepared.broadcast:
         paths.append(prepared.broadcast_path())
     for ppath in paths:
+        if sample is not None and checked >= sample:
+            break
         try:
             entries = read_partition(ppath, with_data=True)
         except FormatError as exc:
             problems.append(f"{ppath.name}: unreadable ({exc})")
             continue
         for e in entries:
+            if sample is not None and checked >= sample:
+                break
+            checked += 1
+            if not entry_payload_ok(e):
+                problems.append(f"{e.path}: payload digest mismatch")
+                continue
             try:
                 plain = registry.get(e.compressor_id).decompress(e.data)
             except Exception as exc:  # noqa: BLE001 - reported, not raised
@@ -89,10 +126,132 @@ def verify_dataset(root: Path) -> tuple[int, list[str]]:
     return verified, problems
 
 
+def rebuild_manifest(root: Path) -> PreparedDataset:
+    """Reconstruct ``manifest.json`` from the partition files themselves
+    (counts, sizes, dominant compressor, fresh digests) — the manifest
+    is derived state, so losing it must never lose the dataset."""
+    root = Path(root)
+    part_names = sorted(p.name for p in root.glob("part-*.fst"))
+    if not part_names:
+        raise ManifestError(f"{root}: no partition files to rebuild from")
+    broadcast = BROADCAST_NAME if (root / BROADCAST_NAME).exists() else None
+    registry = default_registry()
+    comp_hist: Counter = Counter()
+    num_files = original = compressed = 0
+    digests: dict[str, str] = {}
+    for name in part_names + ([broadcast] if broadcast else []):
+        for e in read_partition(root / name, with_data=False):
+            comp_hist[registry.get(e.compressor_id).name] += 1
+            num_files += 1
+            original += e.stat.st_size
+            compressed += e.compressed_size
+        digests[name] = sha256_file(root / name)
+    prepared = PreparedDataset(
+        root=root,
+        partitions=part_names,
+        broadcast=broadcast,
+        compressor=comp_hist.most_common(1)[0][0] if comp_hist else "raw",
+        num_files=num_files,
+        original_bytes=original,
+        compressed_bytes=compressed,
+        partition_digests=digests,
+    )
+    prepared.save_manifest()
+    return prepared
+
+
+def repair_dataset(
+    root: Path, *, source: Path | None = None
+) -> tuple[list[str], list[str]]:
+    """Repair what offline verification can find.
+
+    Returns ``(repaired, problems)`` — human-readable action lines and
+    the damage that remains. A corrupt/missing manifest is rebuilt from
+    the partitions; a record whose payload fails its digest (or
+    decompression) is re-compressed from ``source`` and its partition
+    rewritten; a partition whose sha256 drifted while every record
+    verifies (e.g. a flip in dead header padding) is rewritten in
+    canonical form. Truncated partitions are unrepairable offline — the
+    torn-off records' membership is unknown — and are reported.
+    """
+    root = Path(root)
+    repaired: list[str] = []
+    problems: list[str] = []
+    registry = default_registry()
+    try:
+        prepared = PreparedDataset.load(root)
+    except (ManifestError, FormatError):
+        prepared = rebuild_manifest(root)
+        repaired.append("manifest.json: rebuilt from partition files")
+    paths = prepared.partition_paths()
+    if prepared.broadcast:
+        paths.append(prepared.broadcast_path())
+    manifest_dirty = False
+    for ppath in paths:
+        if not ppath.exists():
+            problems.append(f"{ppath.name}: missing")
+            continue
+        try:
+            entries = read_partition(ppath, with_data=True)
+        except FormatError as exc:
+            problems.append(
+                f"{ppath.name}: unreadable ({exc}); re-prepare from source"
+            )
+            continue
+        rewrite = False
+        fixed: list[tuple[str, int, object, bytes]] = []
+        for e in entries:
+            data = e.data
+            assert data is not None
+            bad = not entry_payload_ok(e)
+            if not bad:
+                try:
+                    plain = registry.get(e.compressor_id).decompress(data)
+                    bad = len(plain) != e.stat.st_size
+                except Exception:  # noqa: BLE001 - becomes a repair target
+                    bad = True
+            if bad:
+                fresh = _recompress(e, source, registry)
+                if fresh is None:
+                    problems.append(f"{e.path}: unrepaired (no good source)")
+                else:
+                    data = fresh
+                    rewrite = True
+                    repaired.append(f"{e.path}: re-compressed from source")
+            fixed.append((e.path, e.compressor_id, e.stat, data))
+        recorded = prepared.partition_digests.get(ppath.name)
+        if not rewrite and recorded is not None and sha256_file(ppath) != recorded:
+            rewrite = True  # damage confined to dead bytes: canonicalize
+            repaired.append(f"{ppath.name}: rewritten in canonical form")
+        if rewrite:
+            with open(ppath, "wb") as fh:
+                write_partition(fixed, fh)  # type: ignore[arg-type]
+            prepared.partition_digests[ppath.name] = sha256_file(ppath)
+            manifest_dirty = True
+    if manifest_dirty:
+        prepared.save_manifest()
+    return repaired, problems
+
+
+def _recompress(entry, source: Path | None, registry) -> bytes | None:
+    """Re-create one record's compressed payload from the original file;
+    None when the source is unavailable or no longer byte-identical."""
+    if source is None:
+        return None
+    original = Path(source) / entry.path
+    if not original.is_file():
+        return None
+    compressor = registry.get(entry.compressor_id)
+    packed = compressor.compress(original.read_bytes())
+    if entry.stat.has_digest and blob_crc32(packed) != entry.stat.crc32:
+        return None  # the source file changed since prepare time
+    return packed
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="fanstore-inspect",
-        description="Inspect and verify FanStore prepared datasets.",
+        description="Inspect, verify, and repair FanStore prepared datasets.",
     )
     parser.add_argument("root", type=Path, help="prepared dataset directory")
     parser.add_argument(
@@ -100,13 +259,37 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--verify", action="store_true",
-        help="decompress everything and check against stat records",
+        help="check digests and decompress everything against stat records",
+    )
+    parser.add_argument(
+        "--sample", type=int, default=None, metavar="N",
+        help="with --verify: spot-check only the first N records",
+    )
+    parser.add_argument(
+        "--repair", action="store_true",
+        help="rebuild a bad manifest; with --source, re-compress bad records",
+    )
+    parser.add_argument(
+        "--source", type=Path, default=None, metavar="DIR",
+        help="original dataset directory to repair payloads from",
     )
     parser.add_argument("--limit", type=int, default=20,
                         help="max entries listed per partition")
     args = parser.parse_args(argv)
 
-    print(summarize_dataset(args.root))
+    if args.repair:
+        repaired, problems = repair_dataset(args.root, source=args.source)
+        for r in repaired:
+            print(f"REPAIRED: {r}")
+        for p in problems:
+            print(f"PROBLEM: {p}")
+
+    try:
+        print(summarize_dataset(args.root))
+    except FormatError as exc:  # ManifestError included
+        print(f"PROBLEM: {exc}")
+        print("hint: --repair rebuilds the manifest from partition files")
+        return 1
     if args.list:
         prepared = PreparedDataset.load(args.root)
         for name in prepared.partitions + (
@@ -115,7 +298,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             print()
             print(list_partition(args.root / name, limit=args.limit))
     if args.verify:
-        verified, problems = verify_dataset(args.root)
+        verified, problems = verify_dataset(args.root, sample=args.sample)
         print(f"\nverified {verified} entries")
         for p in problems:
             print(f"  PROBLEM: {p}")

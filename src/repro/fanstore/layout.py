@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import io
 import struct
+import zlib
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import BinaryIO, Iterable, Iterator
@@ -40,9 +41,13 @@ COUNT_LEN = 4
 #: flags bits in FileStat.flags
 FLAG_BROADCAST = 1 << 0  # replicated to all nodes (validation data, §V-B)
 FLAG_OUTPUT = 1 << 1  # created at runtime through the write path
+FLAG_HAS_DIGEST = 1 << 2  # crc32 covers the compressed payload
 
 # struct stat core fields + FanStore extras, padded to exactly 144 bytes.
-_STAT_STRUCT = struct.Struct("<IQQIIIQIQQQQiII56x")
+# The crc32 of the *compressed* payload lives in what used to be pure
+# padding, so partitions written before digests existed decode
+# unchanged (their flags word simply lacks FLAG_HAS_DIGEST).
+_STAT_STRUCT = struct.Struct("<IQQIIIQIQQQQiIII52x")
 assert _STAT_STRUCT.size == STAT_LEN
 
 _COUNT_STRUCT = struct.Struct("<I")
@@ -75,6 +80,7 @@ class FileStat:
     home_rank: int = -1  # rank holding the compressed bytes; -1 = unset
     partition_id: int = 0
     flags: int = 0
+    crc32: int = 0  # digest of the COMPRESSED payload; see FLAG_HAS_DIGEST
 
     def pack(self) -> bytes:
         return _STAT_STRUCT.pack(
@@ -93,6 +99,7 @@ class FileStat:
             self.home_rank,
             self.partition_id,
             self.flags,
+            self.crc32,
         )
 
     @classmethod
@@ -119,6 +126,14 @@ class FileStat:
     @property
     def is_output(self) -> bool:
         return bool(self.flags & FLAG_OUTPUT)
+
+    @property
+    def has_digest(self) -> bool:
+        return bool(self.flags & FLAG_HAS_DIGEST)
+
+    def with_digest(self, crc32: int) -> "FileStat":
+        """Copy with the payload digest recorded and flagged present."""
+        return replace(self, crc32=crc32, flags=self.flags | FLAG_HAS_DIGEST)
 
 
 def _pack_path(path: str) -> bytes:
@@ -232,3 +247,16 @@ def read_partition(source: Path | BinaryIO, *, with_data: bool = True) -> list[P
 def partition_payload_bytes(entries: Iterable[PartitionEntry]) -> int:
     """Total compressed payload size of a set of entries."""
     return sum(e.compressed_size for e in entries)
+
+
+def blob_crc32(data: bytes) -> int:
+    """The per-record payload digest (crc32 of the compressed bytes)."""
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def entry_payload_ok(entry: PartitionEntry) -> bool:
+    """Digest check of a fully-read entry; True when no digest is
+    recorded (pre-digest partitions stay readable)."""
+    if entry.data is None or not entry.stat.has_digest:
+        return True
+    return blob_crc32(entry.data) == entry.stat.crc32

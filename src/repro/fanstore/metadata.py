@@ -53,6 +53,18 @@ class FileRecord:
     def is_broadcast(self) -> bool:
         return self.stat.is_broadcast
 
+    @property
+    def has_digest(self) -> bool:
+        """Whether a payload digest was recorded at prepare/write time
+        (it travels inside ``stat``, so the metadata allgather
+        propagates it to every rank for free)."""
+        return self.stat.has_digest
+
+    @property
+    def crc32(self) -> int:
+        """Digest of the *compressed* payload (valid iff has_digest)."""
+        return self.stat.crc32
+
 
 class MetadataTable:
     """Thread-safe path → record map plus a directory index."""

@@ -21,20 +21,22 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import hashlib
 import json
 import os
 import sys
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
 from repro.compressors.registry import CompressorRegistry, default_registry
-from repro.errors import FormatError
+from repro.errors import FormatError, ManifestError
 from repro.fanstore.layout import (
     DEFAULT_BLOCK_SIZE,
     FLAG_BROADCAST,
     FileStat,
+    blob_crc32,
     write_partition,
 )
 from repro.fanstore.metadata import normalize
@@ -42,7 +44,43 @@ from repro.fanstore.metadata import normalize
 MANIFEST_NAME = "manifest.json"
 PARTITION_PATTERN = "part-{:05d}.fst"
 BROADCAST_NAME = "broadcast.fst"
-MANIFEST_VERSION = 1
+#: version 2 added integrity metadata (per-partition sha256 digests and
+#: the manifest's self-digest); version-1 manifests still load.
+MANIFEST_VERSION = 2
+_SUPPORTED_VERSIONS = (1, MANIFEST_VERSION)
+
+#: required manifest keys → accepted value types (None means the JSON
+#: null is allowed, used by the optional broadcast partition).
+_MANIFEST_SCHEMA: dict[str, tuple] = {
+    "version": (int,),
+    "partitions": (list,),
+    "broadcast": (str, type(None)),
+    "compressor": (str,),
+    "num_files": (int,),
+    "original_bytes": (int,),
+    "compressed_bytes": (int,),
+}
+
+
+def sha256_file(path: Path, *, chunk_size: int = 1 << 20) -> str:
+    """Streaming sha256 of a file (the whole-partition digest)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(chunk_size)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def manifest_digest(manifest: dict) -> str:
+    """Canonical content digest of a manifest dict, excluding the digest
+    field itself (sorted keys, so formatting edits don't matter but any
+    value edit does)."""
+    content = {k: v for k, v in manifest.items() if k != "manifest_sha256"}
+    canon = json.dumps(content, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -56,6 +94,9 @@ class PreparedDataset:
     num_files: int
     original_bytes: int
     compressed_bytes: int
+    #: partition file name → sha256 of the whole file (empty for
+    #: datasets prepared before manifest version 2)
+    partition_digests: dict[str, str] = field(default_factory=dict)
 
     @property
     def ratio(self) -> float:
@@ -79,19 +120,58 @@ class PreparedDataset:
             "num_files": self.num_files,
             "original_bytes": self.original_bytes,
             "compressed_bytes": self.compressed_bytes,
+            "partition_digests": self.partition_digests,
         }
+        manifest["manifest_sha256"] = manifest_digest(manifest)
         (self.root / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
 
     @classmethod
     def load(cls, root: Path | str) -> "PreparedDataset":
+        """Load and *validate* a manifest: schema, version, and (when
+        recorded) the manifest's own digest. Every failure mode — a
+        truncated file, a hand-edited value, a missing key — raises
+        :class:`~repro.errors.ManifestError`, never ``KeyError``."""
         root = Path(root)
         manifest_path = root / MANIFEST_NAME
         if not manifest_path.exists():
             raise FormatError(f"no {MANIFEST_NAME} under {root}")
-        manifest = json.loads(manifest_path.read_text())
-        if manifest.get("version") != MANIFEST_VERSION:
-            raise FormatError(
-                f"unsupported manifest version {manifest.get('version')}"
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ManifestError(
+                f"{manifest_path}: truncated or corrupt manifest ({exc})"
+            ) from exc
+        if not isinstance(manifest, dict):
+            raise ManifestError(
+                f"{manifest_path}: manifest must be a JSON object, "
+                f"got {type(manifest).__name__}"
+            )
+        version = manifest.get("version")
+        if version not in _SUPPORTED_VERSIONS:
+            raise ManifestError(
+                f"unsupported manifest version {version!r} "
+                f"(supported: {_SUPPORTED_VERSIONS})"
+            )
+        for key, types in _MANIFEST_SCHEMA.items():
+            if key not in manifest:
+                raise ManifestError(
+                    f"{manifest_path}: missing manifest key {key!r}"
+                )
+            if not isinstance(manifest[key], types):
+                raise ManifestError(
+                    f"{manifest_path}: manifest key {key!r} has type "
+                    f"{type(manifest[key]).__name__}, expected "
+                    f"{'/'.join(t.__name__ for t in types)}"
+                )
+        if not all(isinstance(p, str) for p in manifest["partitions"]):
+            raise ManifestError(
+                f"{manifest_path}: partition names must be strings"
+            )
+        recorded = manifest.get("manifest_sha256")
+        if recorded is not None and recorded != manifest_digest(manifest):
+            raise ManifestError(
+                f"{manifest_path}: manifest digest mismatch — the file "
+                "was hand-edited or torn mid-write"
             )
         return cls(
             root=root,
@@ -101,7 +181,19 @@ class PreparedDataset:
             num_files=manifest["num_files"],
             original_bytes=manifest["original_bytes"],
             compressed_bytes=manifest["compressed_bytes"],
+            partition_digests=dict(manifest.get("partition_digests") or {}),
         )
+
+    def verify_partition_digests(self) -> list[str]:
+        """Names of partition files whose current sha256 no longer
+        matches the digest recorded at prepare time (files without a
+        recorded digest are skipped, missing files are reported)."""
+        mismatched = []
+        for name, recorded in self.partition_digests.items():
+            path = self.root / name
+            if not path.exists() or sha256_file(path) != recorded:
+                mismatched.append(name)
+        return mismatched
 
 
 def _enumerate_files(data_dir: Path) -> list[Path]:
@@ -164,7 +256,7 @@ def _compress_files(
                 comp_id = compressor.compressor_id
         stat = dataclasses.replace(
             _stat_for(path, len(raw), flags=flags), partition_id=partition_id
-        )
+        ).with_digest(blob_crc32(packed))
         rel = normalize(str(path.relative_to(rel_to)))
         return rel, comp_id, stat, packed
 
@@ -207,6 +299,7 @@ def prepare_dataset(
         assignments[i % num_partitions].append(path)
 
     partition_names: list[str] = []
+    partition_digests: dict[str, str] = {}
     total_original = 0
     total_compressed = 0
     num_files = 0
@@ -218,6 +311,7 @@ def prepare_dataset(
         with open(out_dir / name, "wb") as fh:
             write_partition(entries, fh)
         partition_names.append(name)
+        partition_digests[name] = sha256_file(out_dir / name)
         num_files += len(entries)
         total_original += sum(e[2].st_size for e in entries)
         total_compressed += sum(len(e[3]) for e in entries)
@@ -238,6 +332,7 @@ def prepare_dataset(
         broadcast_name = BROADCAST_NAME
         with open(out_dir / broadcast_name, "wb") as fh:
             write_partition(bentries, fh)
+        partition_digests[broadcast_name] = sha256_file(out_dir / broadcast_name)
         num_files += len(bentries)
         total_original += sum(e[2].st_size for e in bentries)
         total_compressed += sum(len(e[3]) for e in bentries)
@@ -250,6 +345,7 @@ def prepare_dataset(
         num_files=num_files,
         original_bytes=total_original,
         compressed_bytes=total_compressed,
+        partition_digests=partition_digests,
     )
     prepared.save_manifest()
     return prepared

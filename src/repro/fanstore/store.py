@@ -35,6 +35,7 @@ from repro.fanstore.backend import DiskBackend, PartitionBackend, RamBackend
 from repro.fanstore.client import FanStoreClient
 from repro.fanstore.daemon import DaemonConfig, FanStoreDaemon
 from repro.fanstore.prepare import PreparedDataset
+from repro.fanstore.scrub import ScrubReport, Scrubber
 
 
 class FanStore:
@@ -110,9 +111,13 @@ class FanStore:
         return path
 
     def verify_integrity(self, sample: int | None = None) -> int:
-        """Decompress (up to ``sample``) files and check sizes against
-        their stat records; returns the number verified. A post-load
-        health check used by tests and the quickstart."""
+        """End-to-end read check: decompress (up to ``sample``) files
+        through the full client path and compare sizes against their
+        stat records; returns the number verified. Because the read path
+        digest-checks every compressed payload (and self-repairs via the
+        failover ladder), this also exercises verify-on-read. For a
+        digest sweep that does *not* decompress — and that reports
+        instead of raising — see :meth:`scrub`."""
         checked = 0
         for record in self.daemon.metadata.walk_files():
             if sample is not None and checked >= sample:
@@ -127,3 +132,36 @@ class FanStore:
                 )
             checked += 1
         return checked
+
+    def scrubber(
+        self,
+        *,
+        repair: bool = True,
+        deep: bool = False,
+        batch: int = 32,
+        rate_limit_bytes_per_s: float | None = None,
+        interval_s: float = 0.0,
+    ) -> Scrubber:
+        """A :class:`~repro.fanstore.scrub.Scrubber` over this rank's
+        records — drive it incrementally (``step()``), in one pass
+        (``run()``), or as a background thread (``start()``)."""
+        return Scrubber(
+            self.daemon,
+            repair=repair,
+            deep=deep,
+            batch=batch,
+            rate_limit_bytes_per_s=rate_limit_bytes_per_s,
+            interval_s=interval_s,
+        )
+
+    def scrub(
+        self,
+        sample: int | None = None,
+        *,
+        repair: bool = True,
+        deep: bool = False,
+    ) -> ScrubReport:
+        """One full digest sweep over the records staged on this rank,
+        healing mismatches through the failover ladder when ``repair``
+        is set; returns the :class:`~repro.fanstore.scrub.ScrubReport`."""
+        return self.scrubber(repair=repair, deep=deep).run(sample)

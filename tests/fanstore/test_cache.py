@@ -107,6 +107,60 @@ class TestRetentionPolicy:
         assert cache.open("big") is not None  # still served
 
 
+class TestQuarantine:
+    """discard(): the integrity layer's hook — a path whose source
+    bytes failed verification must never be served again."""
+
+    def test_discard_unpinned_evicts_immediately(self):
+        cache = DecompressedCache(1000, retain_unpinned=True)
+        cache.open("f")
+        cache.insert("f", b"data")
+        cache.close("f")
+        assert cache.discard("f") is True
+        assert "f" not in cache
+        assert cache.stats.quarantined == 1
+        assert cache.open("f") is None  # re-verify on next open
+
+    def test_discard_absent_is_noop(self):
+        cache = DecompressedCache(1000)
+        assert cache.discard("ghost") is False
+        assert cache.stats.quarantined == 0
+
+    def test_discard_pinned_dooms_instead_of_evicting(self):
+        cache = DecompressedCache(1000)
+        cache.open("f")
+        cache.insert("f", b"bad")
+        assert cache.discard("f") is True
+        assert "f" in cache  # still resident for the open reader...
+        assert cache.open("f") is None  # ...but never served again
+        assert cache.refcount("f") == 1
+
+    def test_doomed_entry_freed_at_last_close_even_when_retaining(self):
+        cache = DecompressedCache(1000, retain_unpinned=True)
+        cache.open("f")
+        cache.insert("f", b"bad")
+        cache.discard("f")
+        cache.close("f")
+        assert "f" not in cache  # retention does not apply to the doomed
+
+    def test_insert_replaces_doomed_bytes_in_place(self):
+        """The repair path re-verifies and re-inserts while an old
+        reader still holds the entry open: fresh bytes are served from
+        then on, and the old reader's close() still balances."""
+        cache = DecompressedCache(1000)
+        cache.open("f")
+        cache.insert("f", b"corrupt!")  # reader A pins the bad bytes
+        cache.discard("f")
+        assert cache.open("f") is None  # reader B misses (doomed)
+        assert cache.insert("f", b"repaired-bytes") == b"repaired-bytes"
+        assert cache.open("f") == b"repaired-bytes"  # reader C hits
+        assert cache.refcount("f") == 3
+        for _ in range(3):
+            cache.close("f")
+        assert "f" not in cache
+        assert cache.resident_bytes == 0
+
+
 class TestConcurrency:
     def test_parallel_open_close_stress(self):
         cache = DecompressedCache(1 << 20)

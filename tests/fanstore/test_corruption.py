@@ -1,0 +1,193 @@
+"""The storage-fault injector: deterministic, rule-scoped, recorded."""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.errors import FanStoreError, FileNotFoundInStoreError
+from repro.fanstore.backend import RamBackend
+from repro.fanstore.corruption import (
+    BIT_FLIP,
+    TORN_WRITE,
+    TRUNCATE,
+    ZERO_PAGE,
+    StorageFaultPlan,
+    corrupt_backend,
+    corrupt_record,
+)
+from repro.fanstore.layout import read_partition
+from repro.fanstore.prepare import MANIFEST_NAME, PreparedDataset
+
+
+@pytest.fixture()
+def dataset_copy(prepared_dataset, tmp_path):
+    """A disposable copy — the session dataset must never be mutated."""
+    root = tmp_path / "copy"
+    shutil.copytree(prepared_dataset.root, root)
+    return PreparedDataset.load(root)
+
+
+class TestRules:
+    def test_bit_flip_changes_one_file(self, dataset_copy):
+        target = dataset_copy.partition_paths()[0]
+        before = target.read_bytes()
+        events = StorageFaultPlan(seed=1).bit_flip(
+            pattern="part-00000.fst"
+        ).apply_dataset(dataset_copy)
+        assert len(events) == 1
+        assert events[0].action == BIT_FLIP
+        assert events[0].path == target
+        after = target.read_bytes()
+        assert len(after) == len(before)
+        assert sum(a != b for a, b in zip(after, before)) == 1
+        # nothing else was touched
+        assert dataset_copy.verify_partition_digests() == [target.name]
+
+    def test_truncate_shortens(self, dataset_copy):
+        target = dataset_copy.partition_paths()[1]
+        before = target.read_bytes()
+        [event] = StorageFaultPlan(seed=2).truncate(
+            pattern=target.name
+        ).apply([target])
+        assert event.action == TRUNCATE
+        after = target.read_bytes()
+        assert len(after) < len(before)
+        assert after == before[: len(after)]
+
+    def test_zero_page_zeroes_an_aligned_page(self, dataset_copy):
+        target = dataset_copy.partition_paths()[2]
+        before = target.read_bytes()
+        [event] = StorageFaultPlan(seed=3).zero_page(
+            pattern=target.name, page_size=256
+        ).apply([target])
+        assert event.action == ZERO_PAGE
+        assert event.offset % 256 == 0
+        after = target.read_bytes()
+        assert len(after) == len(before)
+        assert after[event.offset : event.offset + event.length] == bytes(
+            event.length
+        )
+
+    def test_torn_write_keeps_prefix_drops_tail(self, dataset_copy):
+        target = dataset_copy.broadcast_path()
+        before = target.read_bytes()
+        [event] = StorageFaultPlan(seed=4).torn_write(
+            pattern=target.name
+        ).apply([target])
+        assert event.action == TORN_WRITE
+        after = target.read_bytes()
+        assert after[: event.offset] == before[: event.offset]
+        assert len(after) < len(before)
+
+    def test_empty_file_is_skipped(self, tmp_path):
+        empty = tmp_path / "empty.bin"
+        empty.write_bytes(b"")
+        plan = StorageFaultPlan(seed=5).bit_flip()
+        assert plan.apply([empty]) == []
+        assert plan.stats.skipped == 1
+        assert plan.stats.total == 0
+
+
+class TestPlanSemantics:
+    def test_same_seed_same_damage(self, prepared_dataset, tmp_path):
+        damages = []
+        for run in ("a", "b"):
+            root = tmp_path / run
+            shutil.copytree(prepared_dataset.root, root)
+            copy = PreparedDataset.load(root)
+            plan = StorageFaultPlan(seed=77).bit_flip(
+                pattern="part-*.fst", times=2
+            )
+            events = plan.apply_dataset(copy)
+            damages.append([
+                (e.action, e.path.name, e.offset, e.length) for e in events
+            ])
+            damages.append([
+                p.read_bytes() for p in copy.partition_paths()
+            ])
+        assert damages[0] == damages[2]
+        assert damages[1] == damages[3]
+
+    def test_times_budget_and_pattern_scope(self, dataset_copy):
+        plan = StorageFaultPlan(seed=6).bit_flip(
+            pattern="part-*.fst", times=2
+        )
+        events = plan.apply_dataset(dataset_copy)
+        assert len(events) == 2  # third partition + manifest untouched
+        assert all(e.path.name.startswith("part-") for e in events)
+        assert plan.stats.bit_flips == 2
+
+    def test_first_matching_rule_wins(self, dataset_copy):
+        target = dataset_copy.partition_paths()[0]
+        plan = (
+            StorageFaultPlan(seed=7)
+            .truncate(pattern=target.name)
+            .bit_flip(pattern="*")
+        )
+        [event] = plan.apply([target])
+        assert event.action == TRUNCATE
+        assert plan.stats.bit_flips == 0
+
+    def test_probability_zeroish_never_fires(self, dataset_copy):
+        plan = StorageFaultPlan(seed=8).bit_flip(
+            pattern="*", times=None, probability=0.0
+        )
+        assert plan.apply_dataset(dataset_copy) == []
+
+    def test_manifest_is_a_target(self, dataset_copy):
+        plan = StorageFaultPlan(seed=9).truncate(pattern=MANIFEST_NAME)
+        [event] = plan.apply_dataset(dataset_copy)
+        assert event.path.name == MANIFEST_NAME
+        with pytest.raises(FanStoreError):
+            PreparedDataset.load(dataset_copy.root)
+
+    def test_events_accumulate_across_passes(self, dataset_copy):
+        plan = StorageFaultPlan(seed=10).bit_flip(pattern="part-*", times=None)
+        plan.apply_dataset(dataset_copy)
+        plan.apply_dataset(dataset_copy)
+        assert len(plan.events) == 6
+
+
+class TestTargetedHelpers:
+    def test_corrupt_record_hits_only_its_payload(self, dataset_copy):
+        part = dataset_copy.partition_paths()[0]
+        entries = read_partition(part, with_data=False)
+        victim = entries[0]
+        event = corrupt_record(dataset_copy, victim.path, seed=11)
+        assert event.path == part
+        assert (
+            victim.data_offset
+            <= event.offset
+            < victim.data_offset + victim.compressed_size
+        )
+        # every other record in the partition still verifies
+        from repro.fanstore.layout import entry_payload_ok
+
+        for e in read_partition(part, with_data=True):
+            assert entry_payload_ok(e) == (e.path != victim.path)
+
+    def test_corrupt_record_unknown_path(self, dataset_copy):
+        with pytest.raises(FileNotFoundInStoreError):
+            corrupt_record(dataset_copy, "no/such/file", seed=1)
+
+    def test_corrupt_backend_leaves_shared_fs_alone(self, dataset_copy):
+        backend = RamBackend()
+        backend.put("x", b"payload-bytes")
+        before_parts = [p.read_bytes() for p in dataset_copy.partition_paths()]
+        bad = corrupt_backend(backend, "x", seed=12)
+        assert bad != b"payload-bytes"
+        assert len(bad) == len(b"payload-bytes")
+        assert backend.get("x") == bad
+        assert [
+            p.read_bytes() for p in dataset_copy.partition_paths()
+        ] == before_parts
+
+    def test_corrupt_backend_deterministic(self):
+        outs = []
+        for _ in range(2):
+            backend = RamBackend()
+            backend.put("x", bytes(64))
+            outs.append(corrupt_backend(backend, "x", seed=13))
+        assert outs[0] == outs[1]

@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
+import json
 import threading
 
 import pytest
 
-from repro.errors import FanStoreError
+from repro.errors import DataIntegrityError, FanStoreError
 from repro.fanstore.faults import CheckpointManager
 
 
@@ -83,6 +84,67 @@ class TestAtomicity:
             mgr.save(1, {"bad": object()})  # not JSON-serializable
         assert not list(tmp_path.glob("*.tmp"))
         assert mgr.epochs() == []
+
+
+class TestPayloadDigests:
+    """Checkpoints carry a sha256 of their content, verified at load."""
+
+    def _flip_state(self, path):
+        """Corrupt the saved state without breaking the JSON framing."""
+        blob = json.loads(path.read_text())
+        blob["state"]["weights"][0] += 1.0
+        path.write_text(json.dumps(blob))
+
+    def test_save_records_digest(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        path = mgr.save(1, {"weights": [1.0]})
+        assert len(json.loads(path.read_text())["sha256"]) == 64
+
+    def test_bit_flipped_payload_raises_typed_error(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        path = mgr.save(2, {"weights": [1.0, 2.0]})
+        self._flip_state(path)
+        with pytest.raises(DataIntegrityError) as exc_info:
+            mgr.load(2)
+        assert str(path) in str(exc_info.value)
+        assert exc_info.value.filename == str(path)
+
+    def test_truncated_file_raises_fanstore_error(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        path = mgr.save(3, {"weights": [1.0]})
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(FanStoreError):
+            mgr.load(3)
+
+    def test_pre_digest_checkpoints_still_load(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        path = mgr._path_for(4)
+        path.write_text('{"epoch": 4, "state": {"weights": [9.0]}}')
+        assert mgr.load(4).payload == {"weights": [9.0]}
+
+    def test_latest_falls_back_past_a_corrupt_newest(self, tmp_path):
+        """The newest checkpoint is the likeliest casualty of a crash;
+        resume must step back to the previous epoch, not die."""
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(5, {"weights": [5.0]})
+        path6 = mgr.save(6, {"weights": [6.0]})
+        self._flip_state(path6)
+        resumed = mgr.latest()
+        assert resumed.epoch == 5
+        assert resumed.payload == {"weights": [5.0]}
+
+    def test_latest_raises_when_every_checkpoint_is_corrupt(self, tmp_path):
+        """All resume points lost: restarting from scratch silently
+        would throw the run away — the failure must be loud."""
+        mgr = CheckpointManager(tmp_path)
+        for epoch in (1, 2):
+            self._flip_state(mgr.save(epoch, {"weights": [float(epoch)]}))
+        with pytest.raises(FanStoreError):
+            mgr.latest()
+
+    def test_latest_none_when_fresh_unchanged(self, tmp_path):
+        assert CheckpointManager(tmp_path).latest() is None
 
 
 class TestPruning:

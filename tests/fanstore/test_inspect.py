@@ -2,14 +2,33 @@
 
 from __future__ import annotations
 
+import shutil
+
 import pytest
 
+from repro.fanstore.corruption import corrupt_record
 from repro.fanstore.inspect import (
     list_partition,
     main,
+    rebuild_manifest,
+    repair_dataset,
     summarize_dataset,
     verify_dataset,
 )
+from repro.fanstore.prepare import MANIFEST_NAME, PreparedDataset
+
+
+@pytest.fixture()
+def dataset_copy(prepared_dataset, tmp_path):
+    root = tmp_path / "copy"
+    shutil.copytree(prepared_dataset.root, root)
+    return PreparedDataset.load(root)
+
+
+def read_first_record(prepared) -> str:
+    from repro.fanstore.layout import read_partition
+
+    return read_partition(prepared.partition_paths()[0], with_data=False)[0].path
 
 
 class TestSummarize:
@@ -53,6 +72,55 @@ class TestVerify:
         assert verified < 15
 
 
+class TestVerifyDigests:
+    def test_payload_digest_problem_reported(self, dataset_copy):
+        victim = read_first_record(dataset_copy)
+        corrupt_record(dataset_copy, victim, seed=3)
+        verified, problems = verify_dataset(dataset_copy.root)
+        assert f"{victim}: payload digest mismatch" in problems
+        assert any("partition digest mismatch" in p for p in problems)
+
+    def test_sample_bounds_work(self, prepared_dataset):
+        verified, problems = verify_dataset(prepared_dataset.root, sample=4)
+        assert verified == 4
+        assert problems == []
+
+
+class TestRepair:
+    def test_rebuild_manifest_from_partitions(self, dataset_copy):
+        (dataset_copy.root / MANIFEST_NAME).unlink()
+        rebuilt = rebuild_manifest(dataset_copy.root)
+        assert rebuilt.num_files == 15
+        reloaded = PreparedDataset.load(dataset_copy.root)
+        assert reloaded.partitions == dataset_copy.partitions
+        assert verify_dataset(dataset_copy.root) == (15, [])
+
+    def test_repair_rebuilds_corrupt_manifest(self, dataset_copy):
+        (dataset_copy.root / MANIFEST_NAME).write_text("{ not json")
+        repaired, problems = repair_dataset(dataset_copy.root)
+        assert any("manifest.json: rebuilt" in r for r in repaired)
+        assert problems == []
+        assert verify_dataset(dataset_copy.root) == (15, [])
+
+    def test_repair_recompresses_record_from_source(
+        self, dataset_copy, raw_dataset_dir
+    ):
+        victim = read_first_record(dataset_copy)
+        corrupt_record(dataset_copy, victim, seed=5)
+        repaired, problems = repair_dataset(
+            dataset_copy.root, source=raw_dataset_dir / "train"
+        )
+        assert f"{victim}: re-compressed from source" in repaired
+        assert problems == []
+        assert verify_dataset(dataset_copy.root) == (15, [])
+
+    def test_repair_without_source_reports_unrepaired(self, dataset_copy):
+        victim = read_first_record(dataset_copy)
+        corrupt_record(dataset_copy, victim, seed=5)
+        repaired, problems = repair_dataset(dataset_copy.root)
+        assert f"{victim}: unrepaired (no good source)" in problems
+
+
 class TestCli:
     def test_main_summary(self, prepared_dataset, capsys):
         assert main([str(prepared_dataset.root)]) == 0
@@ -79,3 +147,36 @@ class TestCli:
         victim.write_bytes(bytes(raw))
         assert main([str(bad), "--verify"]) == 1
         assert "PROBLEM" in capsys.readouterr().out
+
+    def test_main_verify_sample(self, prepared_dataset, capsys):
+        assert main([str(prepared_dataset.root), "--verify",
+                     "--sample", "4"]) == 0
+        assert "verified 4 entries" in capsys.readouterr().out
+
+    def test_main_repair_with_source_exits_zero(
+        self, dataset_copy, raw_dataset_dir, capsys
+    ):
+        victim = read_first_record(dataset_copy)
+        corrupt_record(dataset_copy, victim, seed=9)
+        argv = [str(dataset_copy.root), "--verify", "--repair",
+                "--source", str(raw_dataset_dir / "train")]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert f"REPAIRED: {victim}: re-compressed from source" in out
+        assert "verified 15 entries" in out
+
+    def test_main_repair_without_source_exits_nonzero(
+        self, dataset_copy, capsys
+    ):
+        victim = read_first_record(dataset_copy)
+        corrupt_record(dataset_copy, victim, seed=9)
+        assert main([str(dataset_copy.root), "--verify", "--repair"]) == 1
+        assert "unrepaired" in capsys.readouterr().out
+
+    def test_main_corrupt_manifest_summary_is_loud(self, dataset_copy,
+                                                   capsys):
+        (dataset_copy.root / MANIFEST_NAME).write_text("{ not json")
+        assert main([str(dataset_copy.root)]) == 1
+        out = capsys.readouterr().out
+        assert "PROBLEM" in out
+        assert "--repair" in out  # the hint
