@@ -186,6 +186,17 @@ class FaultPlan:
         with self._lock:
             self._dead.add(rank)
 
+    def revive(self, rank: int) -> "FaultPlan":
+        """Clear a rank's death mark — the relaunched-process analog.
+        Pair with :meth:`ChaosWorld.revive`, which also re-arms the
+        mailbox; a revived rank starts with a clean slate (its send
+        counter keeps counting, but no armed ``after_sends`` trigger
+        remains for it)."""
+        with self._lock:
+            self._dead.discard(rank)
+            self._kill_after_sends.pop(rank, None)
+        return self
+
     def note_send(self, rank: int) -> bool:
         """Record one send by ``rank``; True if it crossed a scheduled
         ``after_sends`` death threshold (the send itself still happens —
@@ -228,6 +239,16 @@ class ChaosWorld(World):
             raise ValueError(f"rank {rank} outside [0, {self.size})")
         self.plan._mark_dead(rank)
         self._mailboxes[rank].close()
+
+    def revive(self, rank: int) -> None:
+        """Bring a killed rank back as a fresh incarnation: its death
+        mark is cleared and its mailbox re-armed (stale mail discarded).
+        This models a relaunched process taking over the rank slot — it
+        must rejoin via the membership protocol, not silently resume."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} outside [0, {self.size})")
+        self.plan.revive(rank)
+        self._mailboxes[rank].reopen()
 
 
 class ChaosCommunicator(Communicator):
@@ -322,6 +343,13 @@ class ChaosCommunicator(Communicator):
         self._check_alive()
         try:
             return super().recv_with_status(source, tag, timeout)
+        except CommClosedError as exc:
+            raise self._translate_closed(exc) from None
+
+    def try_recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        self._check_alive()
+        try:
+            return super().try_recv(source, tag)
         except CommClosedError as exc:
             raise self._translate_closed(exc) from None
 

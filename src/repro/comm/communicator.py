@@ -130,9 +130,28 @@ class _Mailbox:
             for m in self._messages
         )
 
+    def try_get(self, source: int, tag: int) -> _Message | None:
+        """Non-blocking matching receive; None when nothing matches."""
+        with self._cond:
+            msg = self._match(source, tag)
+            if msg is not None:
+                return msg
+            if self._closed:
+                raise CommClosedError("mailbox closed")
+            return None
+
     def close(self) -> None:
         with self._cond:
             self._closed = True
+            self._cond.notify_all()
+
+    def reopen(self) -> None:
+        """Re-arm a closed mailbox for a relaunched rank. Stale mail
+        addressed to the previous incarnation is discarded — a fresh
+        process must not consume a corpse's backlog."""
+        with self._cond:
+            self._closed = False
+            self._messages.clear()
             self._cond.notify_all()
 
 
@@ -273,6 +292,19 @@ class Communicator:
         """Like :meth:`recv` but also returns ``(payload, source, tag)``."""
         self._check_rank(source, wildcard_ok=True)
         msg = self.world._mailboxes[self.rank].get(source, tag, timeout)
+        return msg.payload, msg.source, msg.tag
+
+    def try_recv(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> tuple[Any, int, int] | None:
+        """Non-blocking receive: ``(payload, source, tag)`` of one
+        matching message, or None when none is queued. This is the
+        heartbeat drain primitive — a failure detector must poll its tag
+        space without parking a thread per peer."""
+        self._check_rank(source, wildcard_ok=True)
+        msg = self.world._mailboxes[self.rank].try_get(source, tag)
+        if msg is None:
+            return None
         return msg.payload, msg.source, msg.tag
 
     def isend(self, payload: Any, dest: int, tag: int = 0) -> Request:

@@ -64,6 +64,12 @@ class CapacityError(FanStoreError):
     """A node's burst buffer cannot host the data assigned to it."""
 
 
+class MembershipError(FanStoreError):
+    """The cluster-membership protocol failed: a join or promotion
+    handshake got no (or a rejecting) answer, or a view operation was
+    driven with inconsistent arguments."""
+
+
 class CommError(ReproError):
     """Base class for communicator failures."""
 

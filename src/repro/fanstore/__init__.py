@@ -14,6 +14,8 @@ Subsystems map one-to-one onto the paper's design sections:
 - :mod:`~repro.fanstore.faults` — checkpoint/resume convention (§V-E)
 - :mod:`~repro.fanstore.scrub` — background self-healing digest sweeps
 - :mod:`~repro.fanstore.corruption` — deterministic storage-fault injection
+- :mod:`~repro.fanstore.membership` — failure detection, re-replication,
+  and live rank rejoin (the active layer over §IV-C2's replication)
 """
 
 from repro.fanstore.backend import DiskBackend, PartitionBackend, RamBackend
@@ -46,7 +48,20 @@ from repro.fanstore.layout import (
     read_partition,
     write_partition,
 )
-from repro.fanstore.metadata import FileRecord, MetadataTable, normalize
+from repro.fanstore.membership import (
+    ClusterView,
+    FailureDetector,
+    MembershipConfig,
+    MembershipStats,
+    RankState,
+    ring_successor,
+)
+from repro.fanstore.metadata import (
+    FileRecord,
+    MetadataTable,
+    RereplicationStep,
+    normalize,
+)
 from repro.fanstore.prepare import PreparedDataset, prepare_dataset
 from repro.fanstore.scrub import ScrubReport, Scrubber
 from repro.fanstore.store import FanStore
@@ -83,6 +98,13 @@ __all__ = [
     "Checkpoint",
     "Scrubber",
     "ScrubReport",
+    "ClusterView",
+    "FailureDetector",
+    "MembershipConfig",
+    "MembershipStats",
+    "RankState",
+    "RereplicationStep",
+    "ring_successor",
     "StorageFaultPlan",
     "CorruptionEvent",
     "corrupt_record",

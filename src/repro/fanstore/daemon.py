@@ -52,7 +52,18 @@ from repro.errors import (
 from repro.fanstore.backend import DiskBackend, RamBackend
 from repro.fanstore.cache import DecompressedCache
 from repro.fanstore.layout import blob_crc32, read_partition
-from repro.fanstore.metadata import FileRecord, MetadataTable, normalize
+from repro.fanstore.membership import (
+    ClusterView,
+    FailureDetector,
+    RankState,
+    ring_successor,
+)
+from repro.fanstore.metadata import (
+    FileRecord,
+    MetadataTable,
+    RereplicationStep,
+    normalize,
+)
 from repro.fanstore.prepare import PreparedDataset
 
 TAG_DAEMON = 0x0FA0
@@ -78,6 +89,10 @@ class DaemonStats:
     corruption_detected: int = 0  # payloads that failed digest verification
     corruption_repaired: int = 0  # of those, healed via the failover ladder
     records_scrubbed: int = 0  # records verified by the background scrubber
+    dead_route_skips: int = 0  # fetches short-circuited past a known-dead home
+    rereplicated_records: int = 0  # restored copies staged on this rank
+    rereplication_failed: int = 0  # lost records no source could restore
+    mean_time_to_repair: float = 0.0  # conviction → repair committed, seconds
 
 
 @dataclass(frozen=True)
@@ -142,6 +157,13 @@ class FanStoreDaemon:
         # announced to peers in the metadata allgather
         self._replicated_paths: list[str] = []
         self._retry_rng = random.Random(0x5EED ^ self.rank)
+        self._membership: FailureDetector | None = None
+        # negative route cache: dest rank → view epoch at the time the
+        # exchange was given up on; a hit counts only while the epoch is
+        # unchanged, so every membership change re-opens the route
+        self._route_lock = threading.Lock()
+        self._dead_routes: dict[int, int] = {}
+        self._repair_durations: list[float] = []
 
     # -- loading ----------------------------------------------------------
 
@@ -246,6 +268,222 @@ class FanStoreDaemon:
             self.metadata.merge(records)
             for path in replicated:
                 self.metadata.add_replica(path, sender)
+
+    # -- membership (self-healing) ------------------------------------------
+
+    def attach_membership(self, detector: FailureDetector) -> None:
+        """Wire a failure detector to this daemon: conviction triggers
+        re-replication, re-admission re-announces replicas, and the
+        detector's join/promotion endpoints are backed by this daemon's
+        metadata snapshot and verification read."""
+        self._membership = detector
+        detector.on_dead = self.on_rank_dead
+        detector.on_alive = self.on_rank_alive
+        detector.verify_read = self.verification_read
+        detector.join_snapshot = self.membership_snapshot
+
+    def current_view(self) -> ClusterView | None:
+        """Snapshot of the membership view (None when not attached)."""
+        det = self._membership
+        return det.view if det is not None else None
+
+    def _view_epoch(self) -> int:
+        det = self._membership
+        return det.view.epoch if det is not None else 0
+
+    def _route_dead(self, dest: int) -> bool:
+        """Whether requests to ``dest`` should short-circuit: the view
+        convicted it DEAD, or the negative route cache remembers an
+        exhausted exchange from the *current* view epoch. Stale cache
+        entries (epoch moved on) are dropped on sight."""
+        if dest == self.rank:
+            return False
+        view = self.current_view()
+        if view is not None and view.state(dest) == RankState.DEAD:
+            return True
+        with self._route_lock:
+            cached = self._dead_routes.get(dest)
+            if cached is None:
+                return False
+            if view is not None and cached != view.epoch:
+                del self._dead_routes[dest]
+                return False
+            return True
+
+    def _note_dead_route(self, dest: int) -> None:
+        """Remember that ``dest`` exhausted a full retry ladder, so the
+        next request skips straight to failover even before the
+        detector convicts it."""
+        epoch = self._view_epoch()
+        with self._route_lock:
+            self._dead_routes[dest] = epoch
+
+    def _clear_dead_route(self, dest: int) -> None:
+        with self._route_lock:
+            self._dead_routes.pop(dest, None)
+
+    def on_rank_dead(self, rank: int, view: ClusterView) -> None:
+        """Membership callback: ``rank`` was convicted DEAD.
+
+        Every surviving rank computes the *same* deterministic
+        reassignment plan (pure function of the converged metadata +
+        view) and commits it to its own table, so routing converges
+        without coordination messages. The designated stage rank of each
+        step additionally copies the payload from a surviving copy
+        holder — shared-FS degraded read as the floor — digest-verifies
+        it, and lands it in its backend, restoring the replication
+        factor. Counted in ``rereplicated_records`` and
+        ``mean_time_to_repair``.
+        """
+        started = time.monotonic()
+        plan = self.metadata.plan_rereplication(
+            rank, view.non_dead_ranks(), self.size
+        )
+        restored = 0
+        failed = 0
+        for step in plan:
+            if step.stage_rank != self.rank:
+                continue
+            if step.path in self.backend:
+                restored += 1  # already held (e.g. an unannounced copy)
+                continue
+            if self._stage_copy(step) is None:
+                failed += 1
+            else:
+                restored += 1
+        self.metadata.apply_rereplication(plan, rank)
+        self.stats.rereplicated_records += restored
+        self.stats.rereplication_failed += failed
+        det = self._membership
+        t0 = started
+        if det is not None and det.clock is time.monotonic:
+            t0 = det.detected_at.get(rank, started)
+        self._repair_durations.append(time.monotonic() - t0)
+        self.stats.mean_time_to_repair = sum(self._repair_durations) / len(
+            self._repair_durations
+        )
+
+    def _stage_copy(self, step: RereplicationStep) -> bytes | None:
+        """Fetch one lost record's bytes from a surviving copy holder
+        (shared-FS degraded read as the floor), digest-verify them, and
+        land them in the local backend. Returns the bytes, or None when
+        every source failed."""
+        record = self.metadata.get(step.path)
+        for source in step.source_ranks:
+            if source == self.rank or self._route_dead(source):
+                continue
+            try:
+                ok, data = self._request(
+                    "fetch", step.path, source,
+                    attempts=max(1, self.config.failover_attempts),
+                )
+            except (RetryExhaustedError, RankDeadError):
+                continue
+            if ok and self._blob_ok(record, data):
+                self.backend.put(step.path, data)
+                return data
+        # _degraded_read verifies and promotes into the backend itself
+        return self._degraded_read(step.path, record)
+
+    def on_rank_alive(self, rank: int) -> None:
+        """Membership callback: ``rank`` was re-admitted. Its rejoin
+        re-staged its original round-robin partitions off the shared FS,
+        so every rank deterministically announces it as a replica for
+        those records. Ownership stays with the post-repair homes —
+        handing primaries back would churn routing for no benefit."""
+        self._clear_dead_route(rank)
+        for rec in self.metadata.records():
+            if rec.is_broadcast:
+                continue
+            if rec.partition_id % self.size == rank and rec.home_rank != rank:
+                self.metadata.add_replica(rec.path, rank)
+
+    def verification_read(self, joiner: int) -> bool:
+        """Promotion gate (peer side): fetch one record the joiner must
+        hold — the first of its round-robin partition — straight from
+        its daemon and digest-verify the bytes. A rank that cannot serve
+        a verified read does not get promoted. No candidate record means
+        there is nothing to verify — admit."""
+        candidates = [
+            rec for rec in self.metadata.records()
+            if not rec.is_broadcast
+            and rec.partition_id % self.size == joiner
+        ]
+        if not candidates:
+            return True
+        record = min(candidates, key=lambda r: r.path)
+        try:
+            ok, data = self._request("fetch", record.path, joiner, attempts=1)
+        except (RetryExhaustedError, RankDeadError):
+            return False
+        return bool(ok) and isinstance(data, bytes) and self._blob_ok(record, data)
+
+    def membership_snapshot(
+        self,
+    ) -> tuple[list[FileRecord], dict[str, tuple[int, ...]]]:
+        """Join payload (peer side): the full record list plus the
+        replica map — everything a relaunched rank needs to rebuild what
+        the load-time allgather originally gave it, *including* any
+        post-repair ownership changes."""
+        records = self.metadata.records()
+        replicas = {
+            rec.path: self.metadata.replica_ranks(rec.path) for rec in records
+        }
+        return records, replicas
+
+    def apply_membership_snapshot(
+        self, snapshot: tuple[list[FileRecord], dict[str, tuple[int, ...]]]
+    ) -> None:
+        """Joiner side: adopt a live peer's metadata wholesale (it is
+        authoritative — it reflects any re-homing done while this rank
+        was dead), then announce this rank's physically-held copies as
+        replicas."""
+        records, replicas = snapshot
+        for rec in records:
+            self.metadata.insert(rec)
+        for path, holders in replicas.items():
+            for holder in holders:
+                self.metadata.add_replica(path, holder)
+        for rec in records:
+            if rec.is_broadcast:
+                continue
+            if rec.home_rank != self.rank and rec.path in self.backend:
+                self.metadata.add_replica(rec.path, self.rank)
+
+    def load_rejoin(self, prepared: PreparedDataset) -> None:
+        """Re-stage this rank's round-robin partitions off the shared FS
+        without any collective: a rejoiner cannot allgather (the
+        original cohort's collective sequence has moved on), so its
+        bytes come from the shared FS and its metadata from the join
+        snapshot applied afterwards."""
+        self._prepared = prepared
+        assigned = self._assigned_partitions(len(prepared.partitions))
+        partition_paths = prepared.partition_paths()
+        for pid in assigned:
+            nbytes = self._ingest_partition(partition_paths[pid], self.rank)
+            self._charge_capacity(nbytes, f"partition {pid}")
+        bcast = prepared.broadcast_path()
+        if bcast is not None:
+            nbytes = self._ingest_partition(bcast, self.rank)
+            self._charge_capacity(nbytes, "broadcast partition")
+
+    def export_ownership(self) -> dict:
+        """JSON-ready ownership map (view epoch + per-path home and
+        replicas) for offline tooling: ``fanstore-inspect --repair``
+        must consult post-re-replication owners, not the original
+        layout, so integrity repair and membership repair compose."""
+        view = self.current_view()
+        return {
+            "epoch": view.epoch if view is not None else 0,
+            "rank": self.rank,
+            "files": {
+                rec.path: {
+                    "home": rec.home_rank,
+                    "replicas": list(self.metadata.replica_ranks(rec.path)),
+                }
+                for rec in self.metadata.records()
+            },
+        }
 
     # -- service loop -------------------------------------------------------
 
@@ -383,7 +621,8 @@ class FanStoreDaemon:
             except CommError as exc:
                 last_exc = exc
         raise RetryExhaustedError(
-            f"rank {self.rank}: {kind} request to rank {dest} failed "
+            f"rank {self.rank}: {kind} request to rank {dest} "
+            f"(tag {TAG_DAEMON:#x}, last reply tag {reply_tag:#x}) failed "
             f"after {attempts} attempt(s): {last_exc}"
         ) from last_exc
 
@@ -442,9 +681,26 @@ class FanStoreDaemon:
         ):
             self.stats.local_opens += 1
             return self._verified_local(norm, record)
+        if self._route_dead(record.home_rank):
+            # known-dead home: skip the retry/backoff ladder entirely
+            # and jump straight to the failover tiers (still counted as
+            # a failover — the fetch did leave the home rank)
+            self.stats.dead_route_skips += 1
+            self.stats.failovers += 1
+            data = self._fetch_from_replicas(norm, record)
+            if data is None:
+                data = self._degraded_read(norm, record)
+            if data is None:
+                raise RetryExhaustedError(
+                    f"rank {self.rank}: fetch of {norm} skipped dead home "
+                    f"rank {record.home_rank} (tag {TAG_DAEMON:#x}) and no "
+                    "replica or shared-FS copy answered"
+                )
+            return data
         try:
             ok, data = self._request("fetch", norm, record.home_rank)
         except RetryExhaustedError as home_failure:
+            self._note_dead_route(record.home_rank)
             self.stats.failovers += 1
             data = self._fetch_from_replicas(norm, record)
             if data is None:
@@ -473,15 +729,30 @@ class FanStoreDaemon:
         path is raised. Counts ``corruption_detected`` /
         ``corruption_repaired``."""
         norm = normalize(path)
-        if record is None:
+        # Re-resolve the record even when the caller supplied one: after
+        # a membership repair the authoritative home may have *moved*,
+        # and healing against the stale owner would race the
+        # re-replication engine (the caller's copy is kept only for
+        # paths that have since left the table).
+        try:
             record = self._lookup(norm)
+        except FileNotFoundInStoreError:
+            if record is None:
+                raise
         self.stats.corruption_detected += 1
         self.cache.discard(norm)
         data: bytes | None = None
-        if self.comm is not None and record.home_rank != self.rank:
+        if (
+            self.comm is not None
+            and record.home_rank != self.rank
+            and not self._route_dead(record.home_rank)
+        ):
             try:
                 ok, candidate = self._request("fetch", norm, record.home_rank)
-            except (RetryExhaustedError, RankDeadError):
+            except RetryExhaustedError:
+                ok, candidate = False, None
+                self._note_dead_route(record.home_rank)
+            except RankDeadError:
                 ok, candidate = False, None
             if ok and self._blob_ok(record, candidate):
                 data = candidate
@@ -499,13 +770,28 @@ class FanStoreDaemon:
         self.backend.put(norm, data)
         return data
 
+    def _replica_order(self, norm: str, record: FileRecord) -> list[int]:
+        """Failover order over the announced replicas: view-ALIVE ranks
+        first (ascending), SUSPECT ranks last, convicted-DEAD and
+        negative-cached ranks skipped outright."""
+        candidates = [
+            r for r in self.metadata.replica_ranks(norm)
+            if r not in (self.rank, record.home_rank)
+            and not self._route_dead(r)
+        ]
+        view = self.current_view()
+        if view is None:
+            return candidates
+        return sorted(
+            candidates,
+            key=lambda r: (view.state(r) == RankState.SUSPECT, r),
+        )
+
     def _fetch_from_replicas(self, norm: str, record: FileRecord) -> bytes | None:
         """Second tier of the ladder: ranks that announced a ring-copied
-        replica of this path at load time. A replica serving corrupt
+        (or re-replicated) copy of this path. A replica serving corrupt
         bytes is skipped the same way an unreachable one is."""
-        for replica in self.metadata.replica_ranks(norm):
-            if replica in (self.rank, record.home_rank):
-                continue
+        for replica in self._replica_order(norm, record):
             try:
                 ok, data = self._request(
                     "fetch", norm, replica,
@@ -584,6 +870,19 @@ class FanStoreDaemon:
         rather than ``hash()``, which is salted per process)."""
         return zlib.crc32(path.encode("utf-8")) % self.size
 
+    def _live_owner(self, path: str) -> int:
+        """Hash owner, diverted around corpses: when the slot owner is
+        DEAD in the current view, its ring successor among non-dead
+        ranks takes over the metadata duty. Writer and reader divert
+        identically (same view ⇒ same successor), so forwarded records
+        stay discoverable across a death."""
+        owner = self._hash_owner(path)
+        view = self.current_view()
+        if view is None or view.state(owner) != RankState.DEAD:
+            return owner
+        successor = ring_successor(owner, set(view.non_dead_ranks()), self.size)
+        return successor if successor is not None else owner
+
     def store_output(self, path: str, data: bytes, record: FileRecord) -> None:
         """§V-D site 4: dump a closed output file to the backend and
         forward its metadata to the owning rank. The forward is
@@ -596,7 +895,7 @@ class FanStoreDaemon:
         self.stats.writes += 1
         self.stats.write_bytes += len(data)
         if self.comm is not None:
-            owner = self._hash_owner(norm)
+            owner = self._live_owner(norm)
             if owner != self.rank:
                 # retried like any request/reply site; RetryExhaustedError
                 # propagates — the caller must know the path is not yet
@@ -613,7 +912,7 @@ class FanStoreDaemon:
             pass
         if self.comm is None:
             return None
-        owner = self._hash_owner(norm)
+        owner = self._live_owner(norm)
         if owner == self.rank:
             return None
         ok, rec = self._request("stat", norm, owner)

@@ -12,12 +12,19 @@ against stat records — and repair what verification finds:
 - ``--repair`` rebuilds a missing or corrupt ``manifest.json`` from the
   partition files themselves, and — given ``--source DATA_DIR`` —
   re-compresses damaged records from the original files and rewrites
-  their partitions.
+  their partitions;
+- ``--ownership FILE`` consumes a runtime ownership map (the JSON from
+  ``FanStore.export_ownership()``) so every reported problem names the
+  record's *current* home and replicas — after the membership layer
+  re-replicates a dead rank's records, offline repair must talk about
+  the new owners, not the original layout, or the two repair paths race
+  each other.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections import Counter
 from pathlib import Path
@@ -73,15 +80,43 @@ def list_partition(path: Path, *, limit: int | None = None) -> str:
     return "\n".join(lines)
 
 
+def load_ownership(path: Path) -> dict:
+    """Load an ownership map exported by ``FanStore.export_ownership()``
+    (view epoch + per-path home/replica ranks)."""
+    with open(path, encoding="utf-8") as fh:
+        ownership = json.load(fh)
+    if "files" not in ownership:
+        raise FormatError(f"{path}: not an ownership export (no 'files' key)")
+    return ownership
+
+
+def _owner_note(path: str, ownership: dict | None) -> str:
+    """`` [owner: rank N, replicas ...]`` suffix for problem lines, so
+    operators act against the record's current home — which, after a
+    re-replication, is not the rank the original layout suggests."""
+    if ownership is None:
+        return ""
+    entry = ownership.get("files", {}).get(path)
+    if entry is None:
+        return " [owner: unknown to the exported view]"
+    replicas = ",".join(str(r) for r in entry.get("replicas", [])) or "none"
+    return (
+        f" [owner: rank {entry.get('home')}, replicas {replicas}, "
+        f"view epoch {ownership.get('epoch', 0)}]"
+    )
+
+
 def verify_dataset(
-    root: Path, *, sample: int | None = None
+    root: Path, *, sample: int | None = None, ownership: dict | None = None
 ) -> tuple[int, list[str]]:
     """Offline integrity check of a prepared dataset.
 
     Three layers, cheapest problem wins per record: the whole-partition
     sha256 recorded in the manifest (skipped when sampling), the
     per-record payload crc32, and a full decompression against the stat
-    record. ``sample`` bounds the number of records checked.
+    record. ``sample`` bounds the number of records checked; an
+    ``ownership`` export annotates each per-record problem with its
+    current home/replicas.
 
     Returns ``(verified_count, problems)``.
     """
@@ -108,18 +143,19 @@ def verify_dataset(
             if sample is not None and checked >= sample:
                 break
             checked += 1
+            note = _owner_note(e.path, ownership)
             if not entry_payload_ok(e):
-                problems.append(f"{e.path}: payload digest mismatch")
+                problems.append(f"{e.path}: payload digest mismatch{note}")
                 continue
             try:
                 plain = registry.get(e.compressor_id).decompress(e.data)
             except Exception as exc:  # noqa: BLE001 - reported, not raised
-                problems.append(f"{e.path}: decompression failed ({exc})")
+                problems.append(f"{e.path}: decompression failed ({exc}){note}")
                 continue
             if len(plain) != e.stat.st_size:
                 problems.append(
                     f"{e.path}: size mismatch "
-                    f"({len(plain)} != {e.stat.st_size})"
+                    f"({len(plain)} != {e.stat.st_size}){note}"
                 )
             else:
                 verified += 1
@@ -161,7 +197,7 @@ def rebuild_manifest(root: Path) -> PreparedDataset:
 
 
 def repair_dataset(
-    root: Path, *, source: Path | None = None
+    root: Path, *, source: Path | None = None, ownership: dict | None = None
 ) -> tuple[list[str], list[str]]:
     """Repair what offline verification can find.
 
@@ -213,7 +249,10 @@ def repair_dataset(
             if bad:
                 fresh = _recompress(e, source, registry)
                 if fresh is None:
-                    problems.append(f"{e.path}: unrepaired (no good source)")
+                    problems.append(
+                        f"{e.path}: unrepaired (no good source)"
+                        f"{_owner_note(e.path, ownership)}"
+                    )
                 else:
                     data = fresh
                     rewrite = True
@@ -273,12 +312,27 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--source", type=Path, default=None, metavar="DIR",
         help="original dataset directory to repair payloads from",
     )
+    parser.add_argument(
+        "--ownership", type=Path, default=None, metavar="FILE",
+        help="runtime ownership export (FanStore.export_ownership JSON); "
+        "problems are annotated with each record's current home/replicas",
+    )
     parser.add_argument("--limit", type=int, default=20,
                         help="max entries listed per partition")
     args = parser.parse_args(argv)
 
+    ownership = None
+    if args.ownership is not None:
+        try:
+            ownership = load_ownership(args.ownership)
+        except (OSError, ValueError, FormatError) as exc:
+            print(f"PROBLEM: {exc}")
+            return 1
+
     if args.repair:
-        repaired, problems = repair_dataset(args.root, source=args.source)
+        repaired, problems = repair_dataset(
+            args.root, source=args.source, ownership=ownership
+        )
         for r in repaired:
             print(f"REPAIRED: {r}")
         for p in problems:
@@ -298,7 +352,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             print()
             print(list_partition(args.root / name, limit=args.limit))
     if args.verify:
-        verified, problems = verify_dataset(args.root, sample=args.sample)
+        verified, problems = verify_dataset(
+            args.root, sample=args.sample, ownership=ownership
+        )
         print(f"\nverified {verified} entries")
         for p in problems:
             print(f"  PROBLEM: {p}")

@@ -1,0 +1,542 @@
+"""Cluster membership: failure detection, gossip, and live rejoin.
+
+FanStore's replication (§IV-C2, Figure 2) keeps data *available* after
+a node loss, but availability alone decays: every request rediscovers
+the corpse through the full retry/backoff ladder, the replication
+factor silently drops from n to n−1 forever, and a relaunched rank has
+no way back into the metadata view built by the load-time allgather.
+This module is the active layer that detects, repairs, and re-admits:
+
+- :class:`ClusterView` — a versioned membership map (global ``epoch``
+  plus per-rank ``ALIVE``/``SUSPECT``/``DEAD`` state with a per-rank
+  version counter). Views merge commutatively (higher version wins;
+  ties resolve to the more severe state; epochs max), so gossiping them
+  on heartbeats makes every rank converge on the same view without any
+  coordinator.
+- :class:`FailureDetector` — a heartbeat protocol over the existing
+  :class:`~repro.comm.communicator.Communicator`, on its own tag space
+  (``TAG_MEMBER``), with an injectable clock so threshold edges are
+  unit-testable without sleeping. No heartbeat for ``suspect_after``
+  seconds ⇒ SUSPECT (routing deprioritizes, nothing is repaired — a
+  flapping rank recovers by just heartbeating again); ``dead_after``
+  seconds ⇒ DEAD, the view epoch bumps, and the ``on_dead`` callback
+  fires exactly once per corpse (the daemon hangs re-replication off
+  it). Convictions learned from a peer's gossiped view fire the same
+  callback, so repair work starts everywhere, not only where the
+  timeout happened first.
+- the **rejoin handshake** — a relaunched rank calls
+  :meth:`FailureDetector.request_join` against any live peer: the peer
+  marks it SUSPECT, replies with the current view plus a metadata
+  snapshot (provided by the daemon through ``join_snapshot``), and the
+  joiner re-stages its partitions. :meth:`request_promotion` then asks
+  the peer to perform a *verification read* (``verify_read`` — a real
+  daemon fetch, digest-checked) against the joiner; only a verified
+  read promotes SUSPECT→ALIVE, bumps the epoch, and gossips the
+  re-admission to everyone.
+
+Message kinds on ``TAG_MEMBER`` (replies on the two dedicated reply
+tags so they never collide with the daemon's reply band):
+
+=========  ==========================  ==================================
+kind       payload                     reply
+=========  ==========================  ==================================
+hb         ClusterView snapshot        —
+join       joining rank                (view, snapshot) on TAG_MEMBER_JOIN
+promote    joining rank                (ok, view|reason) on TAG_MEMBER_PROMOTE
+=========  ==========================  ==================================
+
+Known limitation (documented, tested for the common cases): with
+*simultaneous* multi-rank death, ranks that learn of the deaths in
+different orders can transiently compute different re-replication
+plans; the per-corpse plans are self-correcting (each later plan treats
+earlier reassignments as lost copies too), and within one evaluation
+pass corpses are always convicted in ascending rank order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any, Callable
+
+from repro.comm.communicator import ANY_SOURCE, Communicator
+from repro.errors import (
+    CommClosedError,
+    CommError,
+    MembershipError,
+    RankDeadError,
+)
+
+#: dedicated membership tag space (the daemon owns 0x0FA0/0x0FA1 and
+#: the reply band at 0x1000+; membership traffic must never collide).
+TAG_MEMBER = 0x0FB0
+TAG_MEMBER_JOIN = 0x0FB1
+TAG_MEMBER_PROMOTE = 0x0FB2
+
+
+class RankState(IntEnum):
+    """Per-rank health, ordered by severity (merge ties pick the max)."""
+
+    ALIVE = 0
+    SUSPECT = 1
+    DEAD = 2
+
+
+@dataclass
+class MembershipStats:
+    """What the detector observed, for tests and benchmarks."""
+
+    heartbeats_sent: int = 0
+    heartbeats_received: int = 0
+    suspicions: int = 0  # ALIVE → SUSPECT transitions
+    recoveries: int = 0  # SUSPECT → ALIVE without a conviction (flap)
+    convictions: int = 0  # transitions to DEAD observed (local or gossip)
+    joins_served: int = 0
+    promotions: int = 0  # verified rejoins this rank promoted
+
+
+@dataclass(frozen=True)
+class MembershipConfig:
+    """Failure-detector tunables.
+
+    The thresholds are wall-clock seconds of heartbeat silence. With a
+    polling detector the effective detection latency is bounded by
+    ``dead_after`` plus one poll period, so keep
+    ``suspect_after >= 2 * heartbeat_interval`` and
+    ``dead_after > suspect_after`` (validated here).
+    """
+
+    heartbeat_interval: float = 0.2
+    suspect_after: float = 0.8
+    dead_after: float = 2.5
+    #: bound on each join/promotion handshake round trip.
+    join_timeout: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise MembershipError(
+                f"heartbeat_interval must be > 0, got {self.heartbeat_interval}"
+            )
+        if self.suspect_after < self.heartbeat_interval:
+            raise MembershipError(
+                "suspect_after must be >= heartbeat_interval "
+                f"({self.suspect_after} < {self.heartbeat_interval})"
+            )
+        if self.dead_after <= self.suspect_after:
+            raise MembershipError(
+                "dead_after must be > suspect_after "
+                f"({self.dead_after} <= {self.suspect_after})"
+            )
+
+
+class ClusterView:
+    """Versioned membership map; merges are commutative and idempotent.
+
+    Per-rank entries carry a version counter bumped on every local
+    transition; merging takes, per rank, the higher-versioned entry
+    (severity breaks ties) and the max epoch. The *epoch* counts
+    membership changes that affect routing/ownership — DEAD convictions
+    and verified re-admissions — and is what invalidates the daemon's
+    negative route cache.
+    """
+
+    __slots__ = ("size", "epoch", "states", "versions")
+
+    def __init__(
+        self,
+        size: int,
+        *,
+        epoch: int = 0,
+        states: list[RankState] | None = None,
+        versions: list[int] | None = None,
+    ) -> None:
+        if size < 1:
+            raise MembershipError(f"view size must be >= 1, got {size}")
+        self.size = size
+        self.epoch = epoch
+        self.states = list(states) if states else [RankState.ALIVE] * size
+        self.versions = list(versions) if versions else [0] * size
+        if len(self.states) != size or len(self.versions) != size:
+            raise MembershipError("view state/version arrays must match size")
+
+    # -- queries ----------------------------------------------------------
+
+    def state(self, rank: int) -> RankState:
+        return self.states[rank]
+
+    def alive_ranks(self) -> list[int]:
+        return [r for r in range(self.size) if self.states[r] == RankState.ALIVE]
+
+    def non_dead_ranks(self) -> list[int]:
+        return [r for r in range(self.size) if self.states[r] != RankState.DEAD]
+
+    def dead_ranks(self) -> list[int]:
+        return [r for r in range(self.size) if self.states[r] == RankState.DEAD]
+
+    # -- transitions ------------------------------------------------------
+
+    def set_state(
+        self, rank: int, state: RankState, *, bump_epoch: bool = False
+    ) -> None:
+        """Local transition: bump the rank's version (so it wins merges
+        against staler observations) and optionally the view epoch."""
+        self.states[rank] = state
+        self.versions[rank] += 1
+        if bump_epoch:
+            self.epoch += 1
+
+    def merge(self, other: "ClusterView") -> list[tuple[int, RankState, RankState]]:
+        """Fold a gossiped view in; returns ``(rank, old, new)`` for
+        every rank whose state changed."""
+        if other.size != self.size:
+            raise MembershipError(
+                f"cannot merge views of size {other.size} into {self.size}"
+            )
+        changed: list[tuple[int, RankState, RankState]] = []
+        for r in range(self.size):
+            theirs_v, ours_v = other.versions[r], self.versions[r]
+            theirs_s, ours_s = other.states[r], self.states[r]
+            if theirs_v > ours_v or (theirs_v == ours_v and theirs_s > ours_s):
+                if theirs_s != ours_s:
+                    changed.append((r, ours_s, theirs_s))
+                self.states[r] = theirs_s
+                self.versions[r] = theirs_v
+        if other.epoch > self.epoch:
+            self.epoch = other.epoch
+        return changed
+
+    def clone(self) -> "ClusterView":
+        return ClusterView(
+            self.size,
+            epoch=self.epoch,
+            states=list(self.states),
+            versions=list(self.versions),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ClusterView):
+            return NotImplemented
+        return (
+            self.size == other.size
+            and self.epoch == other.epoch
+            and self.states == other.states
+        )
+
+    def __repr__(self) -> str:
+        body = ",".join(
+            f"{r}:{self.states[r].name}v{self.versions[r]}"
+            for r in range((self.size))
+        )
+        return f"ClusterView(epoch={self.epoch}, {body})"
+
+
+def ring_successor(start: int, alive: set[int], size: int) -> int | None:
+    """First member of ``alive`` clockwise after ``start`` (exclusive);
+    the deterministic reassignment primitive — every rank computes the
+    same successor from the same view, no coordination needed."""
+    for i in range(1, size + 1):
+        candidate = (start + i) % size
+        if candidate in alive:
+            return candidate
+    return None
+
+
+class FailureDetector:
+    """Heartbeat failure detector + gossip + rejoin endpoint, per rank.
+
+    Drive it either incrementally (:meth:`step`, with an injectable
+    ``clock`` — how the threshold-edge unit tests run, no sleeping) or
+    as a background thread (:meth:`start`/:meth:`stop` — how the store
+    wires it). All callbacks fire outside the view lock, in the calling
+    thread of the step that observed the transition.
+
+    Callbacks (all optional):
+
+    - ``on_dead(rank, view_snapshot)`` — fired exactly once per corpse
+      per detector, whether convicted locally or learned via gossip;
+    - ``on_alive(rank)`` — fired on every DEAD→ALIVE re-admission;
+    - ``verify_read(rank) -> bool`` — peer-side promotion gate: perform
+      a digest-verified read against the joiner;
+    - ``join_snapshot() -> Any`` — peer-side join payload provider (the
+      daemon returns its metadata snapshot).
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        config: MembershipConfig | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        on_dead: Callable[[int, ClusterView], None] | None = None,
+        on_alive: Callable[[int], None] | None = None,
+        verify_read: Callable[[int], bool] | None = None,
+        join_snapshot: Callable[[], Any] | None = None,
+    ) -> None:
+        self.comm = comm
+        self.rank = comm.rank
+        self.size = comm.size
+        self.config = config or MembershipConfig()
+        self.clock = clock
+        self.on_dead = on_dead
+        self.on_alive = on_alive
+        self.verify_read = verify_read
+        self.join_snapshot = join_snapshot
+        self.stats = MembershipStats()
+        self._lock = threading.RLock()
+        self._view = ClusterView(self.size)
+        now = clock()
+        self._last_heard = {r: now for r in range(self.size) if r != self.rank}
+        self._last_beat = now - self.config.heartbeat_interval  # beat on first step
+        self._convicted: set[int] = set()  # corpses whose on_dead already ran
+        #: clock() timestamp at which each DEAD conviction landed here —
+        #: the detection-latency numerator for the membership benchmark.
+        self.detected_at: dict[int, float] = {}
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._halted = False  # set once our own comm reports us dead
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def view(self) -> ClusterView:
+        """A snapshot of this rank's current view (safe to keep)."""
+        with self._lock:
+            return self._view.clone()
+
+    def is_dead(self, rank: int) -> bool:
+        with self._lock:
+            return self._view.states[rank] == RankState.DEAD
+
+    # -- one protocol round ------------------------------------------------
+
+    def step(self) -> ClusterView:
+        """Drain incoming membership traffic, heartbeat if due, evaluate
+        timeouts; returns the post-step view snapshot. Raises nothing on
+        a dead/closed world — the detector of a crashed rank just stops
+        observing, like its process would."""
+        events: list[tuple[str, int, ClusterView | None]] = []
+        try:
+            self._drain(events)
+            self._maybe_beat()
+            self._evaluate(events)
+        except (RankDeadError, CommClosedError):
+            # our rank is the corpse (or teardown): nothing to detect.
+            # The halt flag permanently stops the background loop — a
+            # revived mailbox must NOT resurrect this incarnation's
+            # thread, or it would steal heartbeats from the relaunched
+            # rank's fresh detector.
+            self._halted = True
+        self._fire(events)
+        return self.view
+
+    def _drain(self, events: list) -> None:
+        while True:
+            got = self.comm.try_recv(ANY_SOURCE, TAG_MEMBER)
+            if got is None:
+                return
+            payload, source, _tag = got
+            try:
+                kind, body = payload
+            except (TypeError, ValueError):
+                continue  # garbage on the membership tag: ignore
+            if kind == "hb":
+                self._on_heartbeat(source, body, events)
+            elif kind == "join":
+                self._serve_join(int(body), events)
+            elif kind == "promote":
+                self._serve_promotion(int(body), events)
+
+    def _on_heartbeat(
+        self, source: int, gossiped: ClusterView, events: list
+    ) -> None:
+        now = self.clock()
+        with self._lock:
+            self.stats.heartbeats_received += 1
+            self._last_heard[source] = now
+            # A heartbeat is live evidence about its *sender*: a SUSPECT
+            # sender recovers on the spot (the flap case). A DEAD sender
+            # does not — re-admission goes through the rejoin handshake.
+            if self._view.states[source] == RankState.SUSPECT:
+                self._view.set_state(source, RankState.ALIVE)
+                self.stats.recoveries += 1
+            changed = self._view.merge(gossiped)
+            for rank, old, new in changed:
+                if rank == self.rank:
+                    continue  # peers gossiping about us: no self-callbacks
+                if new == RankState.DEAD:
+                    events.append(("dead", rank, self._view.clone()))
+                elif old == RankState.DEAD and new != RankState.DEAD:
+                    # re-admitted elsewhere: restart its liveness clock
+                    # so it is not instantly re-suspected here
+                    self._last_heard[rank] = now
+                    events.append(("alive", rank, None))
+
+    def _maybe_beat(self) -> None:
+        now = self.clock()
+        with self._lock:
+            if now - self._last_beat < self.config.heartbeat_interval:
+                return
+            self._last_beat = now
+            view = self._view.clone()
+            targets = [
+                r for r in range(self.size)
+                if r != self.rank and view.states[r] != RankState.DEAD
+            ]
+        for dest in targets:
+            self.comm.send(("hb", view), dest, TAG_MEMBER)
+            self.stats.heartbeats_sent += 1
+
+    def _evaluate(self, events: list) -> None:
+        now = self.clock()
+        with self._lock:
+            # ascending rank order: simultaneous corpses are convicted
+            # in the same order on every rank within one pass
+            for rank in sorted(self._last_heard):
+                state = self._view.states[rank]
+                if state == RankState.DEAD:
+                    continue
+                silent = now - self._last_heard[rank]
+                if silent >= self.config.dead_after:
+                    self._view.set_state(rank, RankState.DEAD, bump_epoch=True)
+                    events.append(("dead", rank, self._view.clone()))
+                elif silent >= self.config.suspect_after and state == RankState.ALIVE:
+                    self._view.set_state(rank, RankState.SUSPECT)
+                    self.stats.suspicions += 1
+
+    def _fire(self, events: list) -> None:
+        for kind, rank, view in events:
+            if kind == "dead":
+                with self._lock:
+                    if rank in self._convicted:
+                        continue
+                    self._convicted.add(rank)
+                    self.detected_at[rank] = self.clock()
+                    self.stats.convictions += 1
+                if self.on_dead is not None:
+                    self.on_dead(rank, view)
+            else:  # alive
+                with self._lock:
+                    self._convicted.discard(rank)
+                    self.detected_at.pop(rank, None)
+                if self.on_alive is not None:
+                    self.on_alive(rank)
+
+    # -- peer side of the rejoin handshake ---------------------------------
+
+    def _serve_join(self, joiner: int, events: list) -> None:
+        """A relaunched rank announced itself: admit it as SUSPECT (it
+        must earn ALIVE through a verified read) and ship it the current
+        view plus the daemon's metadata snapshot."""
+        with self._lock:
+            if self._view.states[joiner] == RankState.DEAD:
+                self._view.set_state(joiner, RankState.SUSPECT)
+            self._last_heard[joiner] = self.clock()
+            self.stats.joins_served += 1
+            view = self._view.clone()
+        snapshot = self.join_snapshot() if self.join_snapshot is not None else None
+        self.comm.send((view, snapshot), joiner, TAG_MEMBER_JOIN)
+
+    def _serve_promotion(self, joiner: int, events: list) -> None:
+        """Promotion gate: only a digest-verified read actually served
+        by the joiner flips it SUSPECT→ALIVE (and bumps the epoch)."""
+        ok = True
+        if self.verify_read is not None:
+            try:
+                ok = bool(self.verify_read(joiner))
+            except Exception:  # noqa: BLE001 - a failed read is a rejection
+                ok = False
+        if not ok:
+            self.comm.send((False, "verification read failed"),
+                           joiner, TAG_MEMBER_PROMOTE)
+            return
+        with self._lock:
+            self._view.set_state(joiner, RankState.ALIVE, bump_epoch=True)
+            self._last_heard[joiner] = self.clock()
+            self._convicted.discard(joiner)
+            self.detected_at.pop(joiner, None)
+            self.stats.promotions += 1
+            view = self._view.clone()
+        if self.on_alive is not None:
+            self.on_alive(joiner)
+        self.comm.send((True, view), joiner, TAG_MEMBER_PROMOTE)
+
+    # -- joiner side of the rejoin handshake -------------------------------
+
+    def request_join(self, peer: int) -> Any:
+        """Announce this (relaunched) rank to ``peer`` and return the
+        peer's metadata snapshot after merging its view. The peer's view
+        arrives with this rank still SUSPECT — promotion is a separate,
+        verified step."""
+        self.comm.send(("join", self.rank), peer, TAG_MEMBER)
+        try:
+            view, snapshot = self.comm.recv(
+                peer, TAG_MEMBER_JOIN, timeout=self.config.join_timeout
+            )
+        except CommError as exc:
+            raise MembershipError(
+                f"rank {self.rank}: join via rank {peer} got no answer ({exc})"
+            ) from exc
+        with self._lock:
+            self._view.merge(view)
+            now = self.clock()
+            for r in self._last_heard:
+                self._last_heard[r] = now
+            # everything the peer's view convicted is settled history
+            # for this incarnation: never re-fire on_dead for it
+            self._convicted.update(self._view.dead_ranks())
+        return snapshot
+
+    def request_promotion(self, peer: int) -> ClusterView:
+        """Ask ``peer`` to verification-read this rank and promote it;
+        returns the post-promotion view (merged locally)."""
+        self.comm.send(("promote", self.rank), peer, TAG_MEMBER)
+        try:
+            ok, body = self.comm.recv(
+                peer, TAG_MEMBER_PROMOTE, timeout=self.config.join_timeout
+            )
+        except CommError as exc:
+            raise MembershipError(
+                f"rank {self.rank}: promotion via rank {peer} timed out ({exc})"
+            ) from exc
+        if not ok:
+            raise MembershipError(
+                f"rank {self.rank}: promotion rejected by rank {peer}: {body}"
+            )
+        with self._lock:
+            self._view.merge(body)
+        return self.view
+
+    # -- background mode ---------------------------------------------------
+
+    def start(self) -> None:
+        """Run :meth:`step` on a daemon thread (no-op when running)."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        poll = self.config.heartbeat_interval / 2
+
+        def _loop() -> None:
+            while not self._stop.is_set():
+                try:
+                    self.step()
+                except (RankDeadError, CommClosedError):
+                    return  # crashed rank / torn-down world: stop observing
+                if self._halted:
+                    return  # step() saw our own death: stop observing
+                if self._stop.wait(poll):
+                    return
+
+        self._thread = threading.Thread(
+            target=_loop, name=f"fanstore-membership-{self.rank}", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float | None = 5.0) -> None:
+        """Stop the background loop (idempotent)."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=timeout)
+        self._thread = None

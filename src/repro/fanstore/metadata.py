@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import posixpath
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, Iterator
 
 from repro.errors import FanStoreError, FileNotFoundInStoreError
@@ -24,6 +24,7 @@ from repro.fanstore.layout import (
     FileStat,
     PartitionEntry,
 )
+from repro.fanstore.membership import ring_successor
 
 
 def normalize(path: str) -> str:
@@ -64,6 +65,24 @@ class FileRecord:
     def crc32(self) -> int:
         """Digest of the *compressed* payload (valid iff has_digest)."""
         return self.stat.crc32
+
+
+@dataclass(frozen=True)
+class RereplicationStep:
+    """One record's repair plan after a rank death: which surviving
+    ranks can source the compressed bytes, which rank stages the
+    restored copy, and who is the home afterwards. Pure data — the
+    daemon executes the copy, :meth:`MetadataTable.apply_rereplication`
+    commits the ownership change."""
+
+    path: str
+    partition_id: int
+    old_home: int
+    new_home: int
+    stage_rank: int  # rank that receives the restored copy
+    source_ranks: tuple[int, ...]  # surviving copy holders, ascending
+    new_replicas: tuple[int, ...]  # replica set after repair (home excl.)
+    compressed_size: int
 
 
 class MetadataTable:
@@ -146,6 +165,104 @@ class MetadataTable:
         """Number of paths with at least one known replica."""
         with self._lock:
             return len(self._replicas)
+
+    def drop_replica(self, path: str, rank: int) -> None:
+        """Forget ``rank``'s replica of ``path`` (its copy is gone)."""
+        norm = normalize(path)
+        with self._lock:
+            holders = self._replicas.get(norm)
+            if holders is not None:
+                holders.discard(rank)
+                if not holders:
+                    del self._replicas[norm]
+
+    # -- membership repair (ring reassignment) -----------------------------
+
+    def plan_rereplication(
+        self, dead_rank: int, alive_ranks: Iterable[int], size: int
+    ) -> list[RereplicationStep]:
+        """Deterministic repair plan for every record that lost a copy
+        when ``dead_rank`` died.
+
+        Pure function of the (converged) table + view: each surviving
+        rank computes the identical plan with no coordination messages.
+        The replacement copy is staged on the first alive ring successor
+        of the dead rank that does not already hold the record, so
+        repair load spreads the same way the original ring replication
+        did. If the home died, the lowest surviving copy holder becomes
+        the new home (matching :meth:`merge`'s lowest-rank-wins rule);
+        with no surviving in-store copy the stage rank adopts the record
+        and must source it from the shared-FS degraded path. Broadcast
+        records are skipped — every rank already holds them.
+        """
+        alive = set(alive_ranks) - {dead_rank}
+        if not alive:
+            return []
+        steps: list[RereplicationStep] = []
+        with self._lock:
+            for path in sorted(self._files):
+                rec = self._files[path]
+                if rec.is_broadcast:
+                    continue
+                copies = {rec.home_rank} | self._replicas.get(path, set())
+                if dead_rank not in copies:
+                    continue
+                surviving = sorted(c for c in copies if c in alive)
+                stage = None
+                cursor = dead_rank
+                for _ in range(size):
+                    cursor = ring_successor(cursor, alive, size)
+                    if cursor is None:
+                        break
+                    if cursor not in surviving:
+                        stage = cursor
+                        break
+                if stage is None:
+                    # every alive rank already holds a copy; nothing to
+                    # restore beyond what the cluster can physically hold
+                    continue
+                if rec.home_rank == dead_rank:
+                    new_home = surviving[0] if surviving else stage
+                else:
+                    new_home = rec.home_rank
+                new_copies = set(surviving) | {stage}
+                steps.append(
+                    RereplicationStep(
+                        path=path,
+                        partition_id=rec.partition_id,
+                        old_home=rec.home_rank,
+                        new_home=new_home,
+                        stage_rank=stage,
+                        source_ranks=tuple(surviving),
+                        new_replicas=tuple(
+                            sorted(new_copies - {new_home})
+                        ),
+                        compressed_size=rec.compressed_size,
+                    )
+                )
+        return steps
+
+    def apply_rereplication(
+        self, steps: Iterable[RereplicationStep], dead_rank: int
+    ) -> int:
+        """Commit a repair plan: re-home records away from the dead
+        rank and swap its replica slots for the staged copies. Returns
+        the number of records whose ownership changed."""
+        changed = 0
+        with self._lock:
+            for step in steps:
+                rec = self._files.get(step.path)
+                if rec is None:
+                    continue
+                if rec.home_rank != step.new_home:
+                    self._files[step.path] = replace(
+                        rec,
+                        home_rank=step.new_home,
+                        stat=rec.stat.with_locality(step.new_home),
+                    )
+                    changed += 1
+                self._replicas[step.path] = set(step.new_replicas)
+        return changed
 
     # -- queries ----------------------------------------------------------
 

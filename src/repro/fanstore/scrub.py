@@ -210,7 +210,10 @@ class Scrubber:
         if not self.repair:
             return
         try:
-            self.daemon.repair(record.path, record)
+            # by path, not by the snapshot's record: repair() re-resolves
+            # ownership, so a record re-homed by the membership layer is
+            # healed from its *current* owner, not the dead original
+            self.daemon.repair(record.path)
         except DataIntegrityError:
             report.unrepaired.append(record.path)
         else:

@@ -34,6 +34,7 @@ from repro.errors import FanStoreError
 from repro.fanstore.backend import DiskBackend, PartitionBackend, RamBackend
 from repro.fanstore.client import FanStoreClient
 from repro.fanstore.daemon import DaemonConfig, FanStoreDaemon
+from repro.fanstore.membership import FailureDetector, MembershipConfig
 from repro.fanstore.prepare import PreparedDataset
 from repro.fanstore.scrub import ScrubReport, Scrubber
 
@@ -51,7 +52,20 @@ class FanStore:
         backend: RamBackend | DiskBackend | PartitionBackend | None = None,
         registry: CompressorRegistry | None = None,
         mount_point: str = "/fanstore",
+        membership: MembershipConfig | bool | None = None,
+        rejoin_peer: int | None = None,
     ) -> None:
+        """``membership`` opts into the self-healing layer: a
+        :class:`~repro.fanstore.membership.FailureDetector` runs on a
+        background thread, dead homes are routed around, and lost
+        records are automatically re-replicated (pass ``True`` for the
+        default :class:`MembershipConfig`). ``rejoin_peer`` constructs
+        the store as a *relaunched* incarnation of its rank: partitions
+        are re-staged off the shared FS (never a collective — the
+        original cohort's collective sequence has moved on), metadata
+        comes from the peer's join snapshot, and the store only returns
+        after the peer verified a read against it and promoted it back
+        to ALIVE. ``rejoin_peer`` implies ``membership``."""
         if isinstance(prepared, (str, Path)):
             prepared = PreparedDataset.load(prepared)
         self.prepared = prepared
@@ -64,20 +78,53 @@ class FanStore:
             comm, config=config, backend=backend, registry=registry
         )
         self.client = FanStoreClient(self.daemon)
+        self.membership: FailureDetector | None = None
         self._active = False
-        self.daemon.load(prepared)
+        self._rejoined = rejoin_peer is not None
+        if rejoin_peer is not None and comm is None:
+            raise FanStoreError("rejoin_peer requires a communicator")
+        if rejoin_peer is not None:
+            membership = membership or True
+        if self._rejoined:
+            self.daemon.load_rejoin(prepared)
+        else:
+            self.daemon.load(prepared)
         self.daemon.start()
+        if membership and comm is not None:
+            cfg = membership if isinstance(membership, MembershipConfig) else None
+            self.membership = FailureDetector(comm, cfg)
+            self.daemon.attach_membership(self.membership)
+        if self._rejoined:
+            assert self.membership is not None and rejoin_peer is not None
+            snapshot = self.membership.request_join(rejoin_peer)
+            if snapshot is not None:
+                self.daemon.apply_membership_snapshot(snapshot)
+            self.membership.request_promotion(rejoin_peer)
+        if self.membership is not None:
+            self.membership.start()
         self._active = True
 
     # -- lifecycle ----------------------------------------------------------
 
     def shutdown(self) -> None:
         """Collective teardown: barrier (everyone done reading), then
-        stop the service loop. Safe to call twice."""
+        stop the service loop. Safe to call twice.
+
+        The barrier is skipped once membership history exists (a death,
+        a rejoin, or this store *being* a rejoined incarnation):
+        collectives need the full original cohort, which by definition
+        no longer exists — callers in that regime sequence their own
+        teardown (see the membership drill for the pairwise pattern)."""
         if not self._active:
             return
         self._active = False
-        if self.daemon.comm is not None:
+        if self.membership is not None:
+            self.membership.stop()
+        view = self.daemon.current_view()
+        collective_safe = not self._rejoined and (
+            view is None or view.epoch == 0
+        )
+        if self.daemon.comm is not None and collective_safe:
             self.daemon.comm.barrier()
         self.daemon.stop()
 
@@ -100,6 +147,12 @@ class FanStore:
     @property
     def num_files(self) -> int:
         return len(self.daemon.metadata)
+
+    def export_ownership(self) -> dict:
+        """This rank's post-membership ownership map (view epoch,
+        per-path home + replicas) — feed it to ``fanstore-inspect
+        --ownership`` so offline repair consults the *current* owners."""
+        return self.daemon.export_ownership()
 
     def resolve(self, path: str) -> str:
         """Strip the mount point from an absolute path (§V-A: directory

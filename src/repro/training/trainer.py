@@ -7,6 +7,15 @@ identical update everywhere — so replicas stay bit-identical, which the
 integration tests assert. Epoch boundaries write epoch-numbered
 checkpoints (§V-E) and a training log through the FanStore write path
 (§II-B3's three output types).
+
+With a ``membership`` detector attached the trainer goes *elastic*:
+gradient averaging runs over a point-to-point gather/broadcast rooted
+at the lowest non-DEAD rank instead of the world collectives (which
+rendezvous with *every* rank of the original cohort and therefore can
+never complete once one is dead), so survivors of a mid-run node loss
+keep taking steps — the paper's §IV-C2 replication promise carried all
+the way up to the training loop. Steps whose reduction ran over fewer
+than the full world are counted in ``TrainReport.elastic_steps``.
 """
 
 from __future__ import annotations
@@ -18,13 +27,27 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.comm.communicator import Communicator
+from repro.comm.communicator import ANY_SOURCE, Communicator
 from repro.comm.fusion import bucketed_allreduce
-from repro.errors import ReproError
+from repro.errors import (
+    CommClosedError,
+    CommError,
+    RankDeadError,
+    ReproError,
+)
 from repro.fanstore.client import FanStoreClient
 from repro.fanstore.faults import CheckpointManager
+from repro.fanstore.membership import FailureDetector
 from repro.training.loader import Batch, SyncLoader
 from repro.training.models import softmax_cross_entropy
+
+#: tag band of the elastic allreduce: step ``s`` gathers on
+#: ``base + 2s`` and broadcasts on ``base + 2s + 1`` — far above the
+#: daemon's per-rank reply bands (``0x1000 + rank·10⁶``, so ranks would
+#: need to exceed ~1073 to reach it) and the membership tags, and never
+#: reused, so a straggling message from an abandoned attempt rots
+#: harmlessly.
+_ELASTIC_TAG_BASE = 0x40000000
 
 
 @dataclass
@@ -38,6 +61,10 @@ class TrainReport:
     wall_seconds: float = 0.0
     resumed_from_epoch: int | None = None
     iteration_seconds: list[float] = field(default_factory=list)
+    #: steps whose gradient reduction ran elastically — over fewer
+    #: contributors than the launch-time world (a peer was dead or
+    #: unreachable), including the solo-fallback case.
+    elastic_steps: int = 0
 
     @property
     def final_loss(self) -> float:
@@ -75,6 +102,9 @@ class DataParallelTrainer:
         log_path: str | None = None,
         fusion_bytes: int | None = None,
         comm_timeout: float | None = None,
+        membership: FailureDetector | None = None,
+        elastic_timeout: float = 2.0,
+        elastic_deadline: float = 20.0,
     ) -> None:
         self.model = model
         self.loader = loader
@@ -83,6 +113,17 @@ class DataParallelTrainer:
         self.lr = lr
         self.checkpoints = checkpoints
         self.log_client = log_client
+        #: membership view source; when set, gradient averaging runs
+        #: over the elastic p2p path (collectives would hang forever on
+        #: a dead rank) and checkpoint/log writing falls to the lowest
+        #: *non-dead* rank instead of a possibly-dead rank 0.
+        self.membership = membership
+        #: per-attempt bound inside one elastic reduction (gather wait,
+        #: result wait); timing out re-reads the view and re-routes.
+        self.elastic_timeout = elastic_timeout
+        #: total bound for one step's reduction; past it the rank takes
+        #: a solo step with its local gradients rather than failing.
+        self.elastic_deadline = elastic_deadline
         # FanStore seals output files at close (single-write model), so
         # each run gets a distinct default log name instead of appending.
         if log_path is None:
@@ -99,10 +140,23 @@ class DataParallelTrainer:
 
     # -- checkpoint plumbing ------------------------------------------------
 
+    def _is_writer(self) -> bool:
+        """Whether this rank writes checkpoints and the log: rank 0
+        normally, the lowest non-DEAD rank once a membership view says
+        rank 0 (or whoever preceded us) is gone — a dead writer must
+        not orphan the run's checkpoints."""
+        if self.comm is None:
+            return True
+        if self.membership is not None:
+            alive = self.membership.view.non_dead_ranks()
+            if alive:
+                return self.comm.rank == min(alive)
+        return self.comm.rank == 0
+
     def _save_checkpoint(self, epoch: int) -> None:
         if self.checkpoints is None:
             return
-        if self.comm is None or self.comm.rank == 0:
+        if self._is_writer():
             self.checkpoints.save(
                 epoch, {"params": self.model.get_flat_params().tolist()}
             )
@@ -144,16 +198,21 @@ class DataParallelTrainer:
             x, labels = self.collate(batch)
             loss, grads = self.model.loss_and_gradients(x, labels)
             if self.comm is not None and self.comm.size > 1:
-                kw = {} if self.comm_timeout is None else {
-                    "timeout": self.comm_timeout
-                }
-                if self.fusion_bytes is not None:
-                    grads = bucketed_allreduce(
-                        self.comm, grads, self.fusion_bytes
+                if self.membership is not None:
+                    grads, loss = self._elastic_allreduce(
+                        grads, float(loss), report.iterations, report
                     )
                 else:
-                    grads = self.comm.allreduce(grads, np.add, **kw) / self.comm.size
-                loss = self.comm.allreduce(loss, lambda a, b: a + b, **kw) / self.comm.size
+                    kw = {} if self.comm_timeout is None else {
+                        "timeout": self.comm_timeout
+                    }
+                    if self.fusion_bytes is not None:
+                        grads = bucketed_allreduce(
+                            self.comm, grads, self.fusion_bytes
+                        )
+                    else:
+                        grads = self.comm.allreduce(grads, np.add, **kw) / self.comm.size
+                    loss = self.comm.allreduce(loss, lambda a, b: a + b, **kw) / self.comm.size
             self.model.apply_gradients(grads, self.lr)
             report.iterations += 1
             report.losses.append(float(loss))
@@ -164,6 +223,110 @@ class DataParallelTrainer:
         report.wall_seconds = time.perf_counter() - start
         self._flush_log(log_lines)
         return report
+
+    # -- elastic gradient averaging -----------------------------------------
+
+    def _elastic_allreduce(
+        self, grads: np.ndarray, loss: float, step: int, report: TrainReport
+    ) -> tuple[np.ndarray, float]:
+        """Membership-aware replacement for the gradient ``allreduce``.
+
+        The world collectives rendezvous with every launch-time rank, so
+        one corpse stalls them forever; this path instead gathers the
+        per-rank ``(grads, loss)`` at a root — the lowest non-DEAD rank
+        in the current view — which averages over whoever arrived and
+        broadcasts ``(mean_grads, mean_loss, n)`` back. A timeout at any
+        point re-reads the view and re-routes (the root itself may have
+        just died); past ``elastic_deadline`` the rank takes a solo step
+        with its local gradients instead of failing the training step.
+        Survivors stay bit-identical with each other because they all
+        apply the root's averaged result.
+        """
+        comm = self.comm
+        assert comm is not None and self.membership is not None
+        gather_tag = _ELASTIC_TAG_BASE + 2 * step
+        result_tag = gather_tag + 1
+        deadline = time.monotonic() + self.elastic_deadline
+        while True:
+            view = self.membership.view
+            participants = set(view.non_dead_ranks()) | {comm.rank}
+            root = min(participants)
+            try:
+                if comm.rank == root:
+                    return self._elastic_root(
+                        grads, loss, participants, gather_tag, result_tag,
+                        report,
+                    )
+                comm.send((grads, loss), root, gather_tag)
+                mean_grads, mean_loss, n = comm.recv(
+                    root, result_tag, timeout=self.elastic_timeout
+                )
+                if n < comm.size:
+                    report.elastic_steps += 1
+                return mean_grads, mean_loss
+            except (RankDeadError, CommClosedError):
+                raise  # this rank is the corpse / world teardown
+            except CommError:
+                if time.monotonic() >= deadline:
+                    # solo step: local gradients beat a failed run
+                    report.elastic_steps += 1
+                    return grads, loss
+                # re-read the view — the root may have been convicted —
+                # and retry on whatever route it now prescribes
+
+    def _elastic_root(
+        self,
+        grads: np.ndarray,
+        loss: float,
+        participants: set[int],
+        gather_tag: int,
+        result_tag: int,
+        report: TrainReport,
+    ) -> tuple[np.ndarray, float]:
+        """Root side of one elastic reduction: gather whoever shows up
+        within the attempt budget, average, broadcast back. Late or
+        duplicate contributions on the step's tag are harmless — the
+        tag is never reused and resends carry identical payloads."""
+        comm = self.comm
+        assert comm is not None
+        contributions: dict[int, tuple[np.ndarray, float]] = {
+            comm.rank: (grads, loss)
+        }
+        expected = participants - set(contributions)
+        gather_deadline = time.monotonic() + self.elastic_timeout
+        while expected:
+            budget = gather_deadline - time.monotonic()
+            if budget <= 0:
+                break
+            try:
+                payload, source, _tag = comm.recv_with_status(
+                    ANY_SOURCE, gather_tag, timeout=budget
+                )
+            except (RankDeadError, CommClosedError):
+                raise
+            except CommError:
+                break  # attempt budget spent: average over who arrived
+            contributions[source] = payload
+            expected.discard(source)
+        n = len(contributions)
+        mean_grads = sum(g for g, _ in contributions.values()) / n
+        mean_loss = sum(l for _, l in contributions.values()) / n
+        # broadcast to every participant, contributor or not: a rank
+        # whose contribution arrived late still finds this result when
+        # it re-routes here, and applies the same update as everyone
+        # (its gradients are lost for the step; its replica is not)
+        for dest in participants:
+            if dest == comm.rank:
+                continue
+            try:
+                comm.send((mean_grads, mean_loss, n), dest, result_tag)
+            except (RankDeadError, CommClosedError):
+                raise
+            except CommError:
+                pass  # that peer will retry or take a solo step
+        if n < comm.size:
+            report.elastic_steps += 1
+        return mean_grads, mean_loss
 
     def _on_epoch_end(
         self, epoch: int, report: TrainReport, log_lines: list[str]
@@ -201,7 +364,7 @@ class DataParallelTrainer:
         """§II-B3: the write-once log file, through the FanStore path."""
         if self.log_client is None or not log_lines:
             return
-        if self.comm is None or self.comm.rank == 0:
+        if self._is_writer():
             self.log_client.write_file(
                 self.log_path, "".join(log_lines).encode("utf-8")
             )
