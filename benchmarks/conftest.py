@@ -3,7 +3,10 @@
 Every benchmark prints a :class:`~repro.bench.report.PaperComparison`
 next to pytest-benchmark's timing table and appends it to
 ``benchmarks/_results/<experiment>.txt`` so EXPERIMENTS.md can be
-assembled from the recorded outputs.
+assembled from the recorded outputs. Each report also drops a
+``<slug>.metrics.jsonl`` beside it — a snapshot of every live
+:class:`~repro.obs.metrics.MetricsRegistry` the run touched (render
+with ``fanstore-top benchmarks/_results/``).
 """
 
 from __future__ import annotations
@@ -18,13 +21,15 @@ from repro.bench.report import PaperComparison
 from repro.datasets.synthetic import generate_dataset
 from repro.fanstore.prepare import prepare_dataset
 from repro.fanstore.store import FanStore
+from repro.obs.metrics import live_registries
 
 RESULTS_DIR = Path(__file__).parent / "_results"
 
 
 @pytest.fixture(scope="session")
 def emit_report():
-    """Print a comparison (past pytest's capture) and persist it."""
+    """Print a comparison (past pytest's capture) and persist it,
+    plus a metrics snapshot of everything the benchmark touched."""
     RESULTS_DIR.mkdir(exist_ok=True)
 
     def _emit(comparison: PaperComparison) -> None:
@@ -33,6 +38,13 @@ def emit_report():
         slug = re.sub(r"[^a-z0-9]+", "_", comparison.experiment.lower()).strip("_")
         path = RESULTS_DIR / f"{slug}.txt"
         path.write_text(text + "\n")
+        snapshots = [
+            reg.snapshot() for reg in live_registries() if len(reg)
+        ]
+        if snapshots:
+            metrics_path = RESULTS_DIR / f"{slug}.metrics.jsonl"
+            for i, snap in enumerate(snapshots):
+                snap.write_jsonl(metrics_path, append=i > 0)
 
     return _emit
 

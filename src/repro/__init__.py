@@ -24,11 +24,14 @@ user needs; the subpackages carry the full API:
 - :mod:`repro.datasets` — synthetic generators matching Table II.
 - :mod:`repro.baselines` — TFRecord-like, Lustre-like, FUSE and chunked
   comparison systems.
+- :mod:`repro.obs` — unified observability: metrics registry, request
+  tracing, and the ``fanstore-top`` snapshot aggregator.
 """
 
 from repro._version import __version__
 from repro.compressors import get_compressor, list_compressors
-from repro.fanstore import FanStore, prepare_dataset
+from repro.fanstore import FanStore, FanStoreOptions, prepare_dataset
+from repro.obs import MetricsRegistry
 from repro.selection import CompressorSelector, SelectionInputs
 
 __all__ = [
@@ -36,7 +39,9 @@ __all__ = [
     "get_compressor",
     "list_compressors",
     "FanStore",
+    "FanStoreOptions",
     "prepare_dataset",
+    "MetricsRegistry",
     "CompressorSelector",
     "SelectionInputs",
 ]

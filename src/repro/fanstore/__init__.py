@@ -64,10 +64,11 @@ from repro.fanstore.metadata import (
 )
 from repro.fanstore.prepare import PreparedDataset, prepare_dataset
 from repro.fanstore.scrub import ScrubReport, Scrubber
-from repro.fanstore.store import FanStore
+from repro.fanstore.store import FanStore, FanStoreOptions
 
 __all__ = [
     "FanStore",
+    "FanStoreOptions",
     "FanStoreClient",
     "FanStoreFile",
     "FanStoreDaemon",

@@ -103,7 +103,12 @@ class DecompressedCache:
                     # already holding the old object keep their (bad)
                     # reference, but the path serves only fresh,
                     # re-verified bytes from here on — and refcounts
-                    # stay consistent for every outstanding close()
+                    # stay consistent for every outstanding close().
+                    # The old bytes leave residency here, so this counts
+                    # as an eviction; without it, quarantine-then-reload
+                    # traffic undercounts evictions and the hit-ratio
+                    # accounting drifts.
+                    self.stats.evictions += 1
                     self._resident += len(data) - len(entry.data)
                     entry.data = data
                     entry.doomed = False
@@ -159,6 +164,23 @@ class DecompressedCache:
                 break
             if self._entries[path].refcount == 0:
                 self._evict(path)
+
+    # -- observability ------------------------------------------------------
+
+    def bind_metrics(self, metrics) -> None:
+        """Register this cache's live counters with a
+        :class:`repro.obs.metrics.MetricsRegistry` as ``cache.*``.
+
+        The registry reads *through* to :class:`CacheStats` — the
+        dataclass fields stay the storage, so the hot path keeps its
+        plain ``+=`` and snapshots still see every update.
+        """
+        for name in (
+            "opens", "hits", "misses", "evictions", "rejected", "quarantined"
+        ):
+            metrics.bind_counter(f"cache.{name}", self.stats, name)
+        metrics.bind_gauge("cache.hit_ratio", fn=lambda: self.stats.hit_rate)
+        metrics.bind_gauge("cache.resident_bytes", fn=lambda: self._resident)
 
     # -- introspection ------------------------------------------------------
 

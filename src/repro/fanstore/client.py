@@ -180,7 +180,19 @@ class FanStoreClient:
         comp_name = self.daemon.config.output_compressor
         if comp_name is not None:
             compressor = self.daemon.registry.get(comp_name)
+            t0 = time.perf_counter()
             packed = compressor.compress(data)
+            dt = time.perf_counter() - t0
+            # write-path codec metrics mirror the read path's decode
+            # metrics (codec.<name>.decode_*); writes are not hot, so
+            # every encode is observed, not sampled
+            metrics = self.daemon.metrics
+            metrics.histogram(
+                f"codec.{compressor.name}.encode_seconds"
+            ).observe(dt)
+            metrics.counter(
+                f"codec.{compressor.name}.encode_bytes"
+            ).inc(len(data))
             if len(packed) < len(data):
                 stored = packed
                 compressor_id = compressor.compressor_id

@@ -20,11 +20,17 @@ Message protocol (all on ``TAG_DAEMON``; replies on caller-chosen tags):
 ========== =====================================  =========================
 kind        payload                                reply
 ========== =====================================  =========================
-fetch       (path, reply_tag)                     (ok, compressed|error)
-stat        (path, reply_tag)                     (ok, FileRecord|None)
-write_meta  FileRecord                            —
+fetch       (path, reply_tag[, trace_ctx])        (ok, compressed|error)
+stat        (path, reply_tag[, trace_ctx])        (ok, FileRecord|None)
+write_meta  (FileRecord, reply_tag[, trace_ctx])  (ok, None)
 stop        —                                     —
 ========== =====================================  =========================
+
+The optional third body element is the :mod:`repro.obs.tracing` wire
+context ``(trace_id, parent_span_id)``: when the requester is inside a
+trace, the serving rank's span joins that trace, so one ``client.read``
+is reconstructable across every rank it touched. Two-element bodies
+(every pre-observability sender) are served identically, untraced.
 """
 
 from __future__ import annotations
@@ -65,6 +71,8 @@ from repro.fanstore.metadata import (
     normalize,
 )
 from repro.fanstore.prepare import PreparedDataset
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_SPAN, Tracer
 
 TAG_DAEMON = 0x0FA0
 _REPLY_TAG_BASE = 0x1000
@@ -72,7 +80,17 @@ _REPLY_TAG_BASE = 0x1000
 
 @dataclass
 class DaemonStats:
-    """Counters surfaced to the benchmarks."""
+    """Counters surfaced to the benchmarks.
+
+    .. deprecated::
+        Retained as a thin façade over the unified
+        :class:`~repro.obs.metrics.MetricsRegistry`: every field here is
+        *bound into* the daemon's registry under ``daemon.<field>``
+        (same storage — mutating either side is visible through both),
+        so existing drills keep asserting on ``daemon.stats.<field>``
+        while new code reads ``daemon.metrics``. Prefer the registry;
+        this bag stays only for PR 1–3 compatibility.
+    """
 
     local_opens: int = 0
     remote_fetches: int = 0
@@ -93,6 +111,16 @@ class DaemonStats:
     rereplicated_records: int = 0  # restored copies staged on this rank
     rereplication_failed: int = 0  # lost records no source could restore
     mean_time_to_repair: float = 0.0  # conviction → repair committed, seconds
+
+    def bind(self, metrics: MetricsRegistry) -> None:
+        """Register every field in ``metrics`` as ``daemon.<field>``,
+        backed by this object's attributes (zero hot-path overhead:
+        ``stats.retries += 1`` stays a bare int add)."""
+        for name in self.__dataclass_fields__:
+            if name == "mean_time_to_repair":
+                metrics.bind_gauge(f"daemon.{name}", self, name)
+            else:
+                metrics.bind_counter(f"daemon.{name}", self, name)
 
 
 @dataclass(frozen=True)
@@ -124,6 +152,18 @@ class DaemonConfig:
     #: or served (records without a recorded digest always pass); the
     #: cached-plaintext fast path is unaffected either way.
     verify_reads: bool = True
+    #: phase-histogram sampling: every Nth cache-missing ``open_file``
+    #: records per-phase (metadata/fetch/verify/decompress) latencies.
+    #: A hot local read is ~20 µs, so always-on timing would dominate
+    #: it; sampling keeps the instrumentation overhead low while the
+    #: histograms still converge. 0 disables phase timing entirely.
+    metrics_every: int = 8
+    #: fraction of cache-missing opens that start a new trace rooted at
+    #: ``client.read`` (1.0 = every open; the chaos drills run there).
+    #: 0.0 never *starts* traces, but requests arriving with a remote
+    #: trace context are always served traced — a sampled trace on one
+    #: rank is followed everywhere.
+    trace_sample: float = 0.0
 
 
 class FanStoreDaemon:
@@ -136,6 +176,7 @@ class FanStoreDaemon:
         config: DaemonConfig | None = None,
         backend: RamBackend | DiskBackend | None = None,
         registry: CompressorRegistry | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.comm = comm
         self.config = config or DaemonConfig()
@@ -145,9 +186,29 @@ class FanStoreDaemon:
         self.cache = DecompressedCache(
             self.config.cache_bytes, retain_unpinned=self.config.retain_cache
         )
-        self.stats = DaemonStats()
         self.rank = comm.rank if comm else 0
         self.size = comm.size if comm else 1
+        #: unified per-rank observability: the stats bag below is bound
+        #: into this registry (``daemon.*``), the cache binds its own
+        #: (``cache.*``), and sampled opens feed the phase histograms.
+        self.metrics = metrics if metrics is not None else MetricsRegistry(
+            rank=self.rank
+        )
+        self.tracer = Tracer(rank=self.rank, sample=self.config.trace_sample)
+        self.stats = DaemonStats()
+        self.stats.bind(self.metrics)
+        self.cache.bind_metrics(self.metrics)
+        self._obs_tick = 0
+        self._last_verify_s = 0.0  # per-fetch verify cost (see _blob_ok)
+        self._h_meta = self.metrics.histogram("daemon.phase.metadata_seconds")
+        self._h_fetch = self.metrics.histogram("daemon.phase.fetch_seconds")
+        self._h_verify = self.metrics.histogram("daemon.phase.verify_seconds")
+        self._h_decompress = self.metrics.histogram(
+            "daemon.phase.decompress_seconds"
+        )
+        self._h_open = self.metrics.histogram("daemon.open_seconds")
+        self._h_write = self.metrics.histogram("daemon.write_seconds")
+        self._trace_opens = self.config.trace_sample > 0.0
         self._service_thread: threading.Thread | None = None
         self._reply_tags = itertools.count(_REPLY_TAG_BASE + self.rank * 1_000_000)
         self._reply_lock = threading.Lock()
@@ -529,40 +590,55 @@ class FanStoreDaemon:
                 continue
             # The body unpack must sit under the same shield as the
             # envelope unpack: one peer sending ("fetch", None) must not
-            # take the service down for every other peer.
+            # take the service down for every other peer. The optional
+            # third element is the requester's trace context; anything
+            # past it is malformed.
             try:
-                subject, reply_tag = body
+                subject, reply_tag, *rest = body
             except (TypeError, ValueError):
                 self.stats.malformed_requests += 1
                 continue
-            if not isinstance(reply_tag, int) or reply_tag < 0:
+            if len(rest) > 1 or not isinstance(reply_tag, int) or reply_tag < 0:
                 self.stats.malformed_requests += 1
                 continue
+            # Joining the requester's trace: a malformed context yields
+            # NULL_SPAN, never an error — tracing must not change what
+            # gets served.
+            span = (
+                self.tracer.adopt(rest[0], f"daemon.serve.{kind}",
+                                  source=source)
+                if rest else NULL_SPAN
+            )
             try:
-                if kind == "fetch":
-                    self.stats.served_requests += 1
-                    try:
-                        data = self._verified_local(subject)
-                    except FileNotFoundInStoreError:
-                        comm.send((False, subject), source, reply_tag)
-                    except DataIntegrityError:
-                        # never serve bytes that failed verification and
-                        # could not be self-repaired; no reply at all,
-                        # so the requester times out and walks its own
-                        # failover ladder (replicas, shared FS)
-                        continue
-                    else:
-                        comm.send((True, data), source, reply_tag)
-                elif kind == "stat":
-                    try:
-                        rec = self.metadata.get(subject)
-                    except FileNotFoundInStoreError:
-                        comm.send((False, None), source, reply_tag)
-                    else:
-                        comm.send((True, rec), source, reply_tag)
-                else:  # write_meta
-                    self.metadata.insert(subject)
-                    comm.send((True, None), source, reply_tag)
+                with span:
+                    if kind == "fetch":
+                        self.stats.served_requests += 1
+                        span.tag(path=subject)
+                        try:
+                            data = self._verified_local(subject)
+                        except FileNotFoundInStoreError:
+                            comm.send((False, subject), source, reply_tag)
+                        except DataIntegrityError:
+                            # never serve bytes that failed verification
+                            # and could not be self-repaired; no reply at
+                            # all, so the requester times out and walks
+                            # its own failover ladder (replicas, shared
+                            # FS)
+                            span.tag(unrepairable=True)
+                            continue
+                        else:
+                            comm.send((True, data), source, reply_tag)
+                    elif kind == "stat":
+                        span.tag(path=subject)
+                        try:
+                            rec = self.metadata.get(subject)
+                        except FileNotFoundInStoreError:
+                            comm.send((False, None), source, reply_tag)
+                        else:
+                            comm.send((True, rec), source, reply_tag)
+                    else:  # write_meta
+                        self.metadata.insert(subject)
+                        comm.send((True, None), source, reply_tag)
             except (CommClosedError, CommError):
                 # replying to a torn-down world (or after our own
                 # injected death) ends the service loop — a crashed
@@ -605,17 +681,32 @@ class FanStoreDaemon:
         assert comm is not None
         if attempts is None:
             attempts = 1 + max(0, self.config.max_retries)
+        # Tracing: each attempt gets its own ``rpc.<kind>`` span (so
+        # retries are visible as sibling spans) and the attempt's
+        # context rides in the request body for the serving rank to
+        # adopt. Untraced callers send the legacy two-element body.
+        traced = self.tracer.current_context() is not None
         last_exc: CommError | None = None
         for attempt in range(attempts):
             if attempt:
                 self.stats.retries += 1
                 time.sleep(self._backoff(attempt))
             reply_tag = self._next_reply_tag()
+            span = (
+                self.tracer.span(f"rpc.{kind}", dest=dest, attempt=attempt)
+                if traced else NULL_SPAN
+            )
             try:
-                comm.send((kind, (body, reply_tag)), dest, TAG_DAEMON)
-                return comm.recv(
-                    dest, reply_tag, timeout=self.config.request_timeout
-                )
+                with span:
+                    ctx = span.context()
+                    wire_body = (
+                        (body, reply_tag) if ctx is None
+                        else (body, reply_tag, ctx.as_wire())
+                    )
+                    comm.send((kind, wire_body), dest, TAG_DAEMON)
+                    return comm.recv(
+                        dest, reply_tag, timeout=self.config.request_timeout
+                    )
             except (CommClosedError, RankDeadError):
                 raise
             except CommError as exc:
@@ -642,10 +733,18 @@ class FanStoreDaemon:
 
     def _blob_ok(self, record: FileRecord, data: bytes) -> bool:
         """Digest check of compressed bytes against the record; passes
-        when verification is off or no digest was recorded."""
+        when verification is off or no digest was recorded.
+
+        Verification time accumulates into ``_last_verify_s`` — an
+        observed open resets it before fetching, so the verify phase
+        histogram captures every digest check the fetch ladder did for
+        that read (a failover verifies at each tier)."""
         if not self.config.verify_reads or not record.stat.has_digest:
             return True
-        return blob_crc32(data) == record.stat.crc32
+        t0 = time.perf_counter()
+        ok = blob_crc32(data) == record.stat.crc32
+        self._last_verify_s += time.perf_counter() - t0
+        return ok
 
     def _verified_local(self, norm: str, record: FileRecord | None = None) -> bytes:
         """Local backend bytes, digest-checked; a corrupt copy is
@@ -741,34 +840,39 @@ class FanStoreDaemon:
                 raise
         self.stats.corruption_detected += 1
         self.cache.discard(norm)
-        data: bytes | None = None
-        if (
-            self.comm is not None
-            and record.home_rank != self.rank
-            and not self._route_dead(record.home_rank)
-        ):
-            try:
-                ok, candidate = self._request("fetch", norm, record.home_rank)
-            except RetryExhaustedError:
-                ok, candidate = False, None
-                self._note_dead_route(record.home_rank)
-            except RankDeadError:
-                ok, candidate = False, None
-            if ok and self._blob_ok(record, candidate):
-                data = candidate
-        if data is None and self.comm is not None:
-            data = self._fetch_from_replicas(norm, record)
-        if data is None:
-            data = self._degraded_read(norm, record)
-        if data is None:
-            raise DataIntegrityError(
-                norm,
-                "compressed payload failed digest verification and no "
-                "replica or shared-FS copy could repair it",
-            )
-        self.stats.corruption_repaired += 1
-        self.backend.put(norm, data)
-        return data
+        with self.tracer.span("daemon.repair", path=norm) as span:
+            data: bytes | None = None
+            if (
+                self.comm is not None
+                and record.home_rank != self.rank
+                and not self._route_dead(record.home_rank)
+            ):
+                try:
+                    ok, candidate = self._request(
+                        "fetch", norm, record.home_rank
+                    )
+                except RetryExhaustedError:
+                    ok, candidate = False, None
+                    self._note_dead_route(record.home_rank)
+                except RankDeadError:
+                    ok, candidate = False, None
+                if ok and self._blob_ok(record, candidate):
+                    data = candidate
+            if data is None and self.comm is not None:
+                data = self._fetch_from_replicas(norm, record)
+            if data is None:
+                data = self._degraded_read(norm, record)
+            if data is None:
+                span.tag(repaired=False)
+                raise DataIntegrityError(
+                    norm,
+                    "compressed payload failed digest verification and no "
+                    "replica or shared-FS copy could repair it",
+                )
+            span.tag(repaired=True)
+            self.stats.corruption_repaired += 1
+            self.backend.put(norm, data)
+            return data
 
     def _replica_order(self, norm: str, record: FileRecord) -> list[int]:
         """Failover order over the announced replicas: view-ALIVE ranks
@@ -792,11 +896,15 @@ class FanStoreDaemon:
         (or re-replicated) copy of this path. A replica serving corrupt
         bytes is skipped the same way an unreachable one is."""
         for replica in self._replica_order(norm, record):
+            # one span per replica attempt: a failed tier shows up as an
+            # errored sibling, not a silent gap in the trace
+            span = self.tracer.span("fetch.replica", rank=replica)
             try:
-                ok, data = self._request(
-                    "fetch", norm, replica,
-                    attempts=max(1, self.config.failover_attempts),
-                )
+                with span:
+                    ok, data = self._request(
+                        "fetch", norm, replica,
+                        attempts=max(1, self.config.failover_attempts),
+                    )
             except RetryExhaustedError:
                 continue
             if ok and self._blob_ok(record, data):
@@ -815,29 +923,48 @@ class FanStoreDaemon:
         shared-FS round trip, not one per epoch."""
         if self._prepared is None or record.data_offset < 0:
             return None  # runtime output: bytes exist only on its writer
-        paths = self._prepared.partition_paths()
-        if record.partition_id < len(paths):
-            part = paths[record.partition_id]
-        elif record.is_broadcast:
-            part = self._prepared.broadcast_path()
-        else:
-            return None
-        if part is None or not part.exists():
-            return None
-        with open(part, "rb") as fh:
-            fh.seek(record.data_offset)
-            data = fh.read(record.compressed_size)
-        if len(data) != record.compressed_size:
-            return None
-        if not self._blob_ok(record, data):
-            return None
-        self.stats.degraded_reads += 1
-        self.backend.put(norm, data)
-        return data
+        with self.tracer.span("fetch.degraded", path=norm):
+            paths = self._prepared.partition_paths()
+            if record.partition_id < len(paths):
+                part = paths[record.partition_id]
+            elif record.is_broadcast:
+                part = self._prepared.broadcast_path()
+            else:
+                return None
+            if part is None or not part.exists():
+                return None
+            with open(part, "rb") as fh:
+                fh.seek(record.data_offset)
+                data = fh.read(record.compressed_size)
+            if len(data) != record.compressed_size:
+                return None
+            if not self._blob_ok(record, data):
+                return None
+            self.stats.degraded_reads += 1
+            self.backend.put(norm, data)
+            return data
 
-    def _decompress(self, record: FileRecord, data: bytes) -> bytes:
+    def _decompress(
+        self, record: FileRecord, data: bytes, *, observed: bool = False
+    ) -> bytes:
+        """Decompress one payload. ``observed`` additionally times the
+        decode and feeds the per-codec ``codec.<name>.*`` metrics (the
+        online counterpart of the lzbench profiles — enough to rebuild a
+        ratio/cost profile from production traffic; see
+        :func:`repro.selection.profiling.profile_from_metrics`)."""
         compressor = self.registry.get(record.compressor_id)
-        plain = compressor.decompress(data)
+        if observed:
+            t0 = time.perf_counter()
+            plain = compressor.decompress(data)
+            dt = time.perf_counter() - t0
+            name = compressor.name
+            self.metrics.histogram(f"codec.{name}.decode_seconds").observe(dt)
+            self.metrics.counter(f"codec.{name}.decode_bytes").inc(len(plain))
+            self.metrics.counter(
+                f"codec.{name}.decode_compressed_bytes"
+            ).inc(len(data))
+        else:
+            plain = compressor.decompress(data)
         self.stats.decompressions += 1
         self.stats.decompressed_bytes += len(plain)
         if len(plain) != record.stat.st_size:
@@ -849,15 +976,54 @@ class FanStoreDaemon:
 
     def open_file(self, path: str) -> bytes:
         """Figure 2's open(): cache hit or fetch+decompress+insert.
-        Pins the cache entry; pair with :meth:`close_file`."""
+        Pins the cache entry; pair with :meth:`close_file`.
+
+        Misses take the *observed* branch — per-phase timing plus a
+        possible trace root — on every ``metrics_every``-th miss, when
+        trace sampling is enabled, or when this thread is already inside
+        a trace (so one sampled read never loses its child spans to the
+        fast path). Everything else runs the bare pipeline: a hot local
+        read is ~20 µs and always-on timing would dominate it."""
         norm = normalize(path)
         cached = self.cache.open(norm)
         if cached is not None:
             return cached
+        self._obs_tick = tick = self._obs_tick + 1
+        every = self.config.metrics_every
+        if (
+            (every and tick % every == 0)
+            or self._trace_opens
+            or self.tracer.n_active
+        ):
+            return self._open_observed(norm)
         record = self._lookup(norm)
         compressed = self.fetch_compressed(norm)
         plain = self._decompress(record, compressed)
         return self.cache.insert(norm, plain)
+
+    def _open_observed(self, norm: str) -> bytes:
+        """The sampled/traced miss path: same pipeline as
+        :meth:`open_file`, wrapped in a ``client.read`` span (started or
+        continued per :meth:`Tracer.maybe_root`) with per-phase
+        latencies recorded into the ``daemon.phase.*`` histograms. The
+        fetch phase includes any remote hops; verify is broken out
+        separately via ``_last_verify_s`` (see :meth:`_blob_ok`)."""
+        with self.tracer.maybe_root("client.read", path=norm):
+            t0 = time.perf_counter()
+            record = self._lookup(norm)
+            t1 = time.perf_counter()
+            self._last_verify_s = 0.0
+            compressed = self.fetch_compressed(norm)
+            t2 = time.perf_counter()
+            plain = self._decompress(record, compressed, observed=True)
+            t3 = time.perf_counter()
+            out = self.cache.insert(norm, plain)
+            self._h_meta.observe(t1 - t0)
+            self._h_fetch.observe(t2 - t1)
+            self._h_verify.observe(self._last_verify_s)
+            self._h_decompress.observe(t3 - t2)
+            self._h_open.observe(time.perf_counter() - t0)
+            return out
 
     def close_file(self, path: str) -> None:
         """Figure 4's close(): unpin (and free at refcount zero)."""
@@ -890,6 +1056,7 @@ class FanStoreDaemon:
         globally discoverable — otherwise a peer racing a barrier could
         stat the path before the owner's daemon processed the insert."""
         norm = normalize(path)
+        t0 = time.perf_counter()
         self.backend.put(norm, data)
         self.metadata.insert(record)
         self.stats.writes += 1
@@ -901,6 +1068,7 @@ class FanStoreDaemon:
                 # propagates — the caller must know the path is not yet
                 # globally discoverable (bytes are safe on this rank).
                 self._request("write_meta", record, owner)
+        self._h_write.observe(time.perf_counter() - t0)
 
     def stat_any(self, path: str) -> FileRecord | None:
         """Metadata lookup that falls back to the hash owner for paths

@@ -68,6 +68,7 @@ from repro.errors import (
     MembershipError,
     RankDeadError,
 )
+from repro.util.service import ServiceMixin
 
 #: dedicated membership tag space (the daemon owns 0x0FA0/0x0FA1 and
 #: the reply band at 0x1000+; membership traffic must never collide).
@@ -86,7 +87,12 @@ class RankState(IntEnum):
 
 @dataclass
 class MembershipStats:
-    """What the detector observed, for tests and benchmarks."""
+    """What the detector observed, for tests and benchmarks.
+
+    Like :class:`~repro.fanstore.daemon.DaemonStats`, these fields
+    double as the storage cells of the unified metrics registry
+    (``membership.<field>``) when a registry is handed to the
+    detector — see :meth:`bind`."""
 
     heartbeats_sent: int = 0
     heartbeats_received: int = 0
@@ -95,6 +101,12 @@ class MembershipStats:
     convictions: int = 0  # transitions to DEAD observed (local or gossip)
     joins_served: int = 0
     promotions: int = 0  # verified rejoins this rank promoted
+
+    def bind(self, metrics) -> None:
+        """Register every field as ``membership.<field>``, backed by
+        this object's attributes (zero hot-path overhead)."""
+        for name in self.__dataclass_fields__:
+            metrics.bind_counter(f"membership.{name}", self, name)
 
 
 @dataclass(frozen=True)
@@ -243,7 +255,7 @@ def ring_successor(start: int, alive: set[int], size: int) -> int | None:
     return None
 
 
-class FailureDetector:
+class FailureDetector(ServiceMixin):
     """Heartbeat failure detector + gossip + rejoin endpoint, per rank.
 
     Drive it either incrementally (:meth:`step`, with an injectable
@@ -273,6 +285,7 @@ class FailureDetector:
         on_alive: Callable[[int], None] | None = None,
         verify_read: Callable[[int], bool] | None = None,
         join_snapshot: Callable[[], Any] | None = None,
+        metrics=None,
     ) -> None:
         self.comm = comm
         self.rank = comm.rank
@@ -284,6 +297,14 @@ class FailureDetector:
         self.verify_read = verify_read
         self.join_snapshot = join_snapshot
         self.stats = MembershipStats()
+        if metrics is not None:
+            # fold the stats bag into the shared registry, plus the view
+            # epoch (an int read under the GIL — no lock needed for a
+            # metrics-grade gauge)
+            self.stats.bind(metrics)
+            metrics.bind_gauge(
+                "membership.view_epoch", fn=lambda: self._view.epoch
+            )
         self._lock = threading.RLock()
         self._view = ClusterView(self.size)
         now = clock()
@@ -540,3 +561,9 @@ class FailureDetector:
         self._stop.set()
         self._thread.join(timeout=timeout)
         self._thread = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the background loop is live (Service contract)."""
+        thread = self._thread
+        return thread is not None and thread.is_alive()

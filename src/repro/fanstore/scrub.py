@@ -46,6 +46,7 @@ from repro.errors import (
 from repro.fanstore.daemon import FanStoreDaemon
 from repro.fanstore.layout import blob_crc32
 from repro.fanstore.metadata import FileRecord
+from repro.util.service import ServiceMixin
 
 
 @dataclass
@@ -87,8 +88,14 @@ class ScrubReport:
         )
 
 
-class Scrubber:
-    """Incremental, rate-limited digest sweep over one rank's records."""
+class Scrubber(ServiceMixin):
+    """Incremental, rate-limited digest sweep over one rank's records.
+
+    Progress is visible in the daemon's metrics registry: the
+    ``scrub.bytes_scanned`` counter and ``scrub.batch_seconds``
+    histogram advance with every batch, and the ``scrub.pending`` gauge
+    reports how far through the current sweep snapshot the cursor is.
+    """
 
     def __init__(
         self,
@@ -115,6 +122,10 @@ class Scrubber:
         self._mid_sweep = False
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
+        metrics = daemon.metrics
+        self._c_bytes = metrics.counter("scrub.bytes_scanned")
+        self._h_batch = metrics.histogram("scrub.batch_seconds")
+        metrics.bind_gauge("scrub.pending", fn=lambda: len(self._pending))
 
     # -- target selection --------------------------------------------------
 
@@ -171,6 +182,8 @@ class Scrubber:
             daemon.stats.records_scrubbed += 1
             self._throttle(report, start)
         report.elapsed_s = time.monotonic() - start
+        self._c_bytes.inc(report.bytes_scanned)
+        self._h_batch.observe(report.elapsed_s)
         return report
 
     def _verify_one(self, record: FileRecord, report: ScrubReport) -> None:
@@ -257,3 +270,9 @@ class Scrubber:
         self._stop.set()
         self._thread.join(timeout=timeout)
         self._thread = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the background sweep is live (Service contract)."""
+        thread = self._thread
+        return thread is not None and thread.is_alive()

@@ -16,16 +16,29 @@ Single-node usage needs no communicator::
 Multi-node usage, inside :func:`repro.comm.run_parallel`::
 
     def node_main(comm):
-        with FanStore(prepared, comm=comm) as fs:
+        opts = FanStoreOptions(comm=comm)
+        with FanStore(prepared, opts) as fs:
             ...  # every rank sees the identical namespace
+
+Construction settings live on :class:`FanStoreOptions`; the named
+constructors :meth:`FanStore.with_membership` and
+:meth:`FanStore.rejoined` cover the two non-default lifecycles (the
+self-healing layer, and relaunching a dead rank). The pre-options
+keyword arguments (``FanStore(prepared, comm=..., config=...)``) still
+work but raise :class:`DeprecationWarning`.
 
 ``shutdown`` (or context exit) is collective when a communicator is
 present: a barrier guarantees no peer still needs this daemon's data
-before the service loop stops.
+before the service loop stops. ``FanStore`` conforms to the shared
+:class:`repro.util.service.Service` contract — the shutdown-ordering
+rules for composing it with scrubbers and failure detectors live in
+that module's docstring.
 """
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 from repro.comm.communicator import Communicator
@@ -33,57 +46,111 @@ from repro.compressors.registry import CompressorRegistry
 from repro.errors import FanStoreError
 from repro.fanstore.backend import DiskBackend, PartitionBackend, RamBackend
 from repro.fanstore.client import FanStoreClient
-from repro.fanstore.daemon import DaemonConfig, FanStoreDaemon
+from repro.fanstore.daemon import DaemonConfig, DaemonStats, FanStoreDaemon
 from repro.fanstore.membership import FailureDetector, MembershipConfig
 from repro.fanstore.prepare import PreparedDataset
 from repro.fanstore.scrub import ScrubReport, Scrubber
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.util.service import ServiceMixin
 
 
-class FanStore:
+@dataclass(frozen=True)
+class FanStoreOptions:
+    """Everything configurable about one :class:`FanStore` instance.
+
+    Replaces the constructor's keyword sprawl with one value that can
+    be built once and shared across ranks/tests (it is frozen; derive
+    variants with :func:`dataclasses.replace`). All fields default to
+    the single-node, in-RAM, observability-quiet configuration.
+    """
+
+    #: communicator for the multi-node mesh (None = single node).
+    comm: Communicator | None = None
+    #: daemon tunables (:class:`DaemonConfig`); None = defaults.
+    config: DaemonConfig | None = None
+    #: directory for a :class:`DiskBackend`; ignored when ``backend``
+    #: is given, None = in-RAM backend.
+    local_dir: Path | str | None = None
+    #: explicit storage backend instance (overrides ``local_dir``).
+    backend: RamBackend | DiskBackend | PartitionBackend | None = None
+    #: compressor registry; None = the default suite.
+    registry: CompressorRegistry | None = None
+    #: POSIX mount prefix stripped by :meth:`FanStore.resolve`.
+    mount_point: str = "/fanstore"
+    #: opt into the self-healing layer: ``True`` for the default
+    #: :class:`MembershipConfig`, or a config instance.
+    membership: MembershipConfig | bool | None = None
+    #: construct as a relaunched incarnation, syncing from this peer.
+    rejoin_peer: int | None = None
+    #: share an existing metrics registry (None = the daemon makes its
+    #: own per-rank registry, reachable as :attr:`FanStore.metrics`).
+    metrics: MetricsRegistry | None = None
+
+
+#: constructor keywords accepted pre-FanStoreOptions; each maps 1:1
+#: onto an options field.
+_LEGACY_KWARGS = frozenset(
+    f for f in FanStoreOptions.__dataclass_fields__ if f != "metrics"
+)
+
+
+class FanStore(ServiceMixin):
     """One node's view of the shared compressed object store."""
 
     def __init__(
         self,
         prepared: PreparedDataset | Path | str,
-        *,
-        comm: Communicator | None = None,
-        config: DaemonConfig | None = None,
-        local_dir: Path | str | None = None,
-        backend: RamBackend | DiskBackend | PartitionBackend | None = None,
-        registry: CompressorRegistry | None = None,
-        mount_point: str = "/fanstore",
-        membership: MembershipConfig | bool | None = None,
-        rejoin_peer: int | None = None,
+        options: FanStoreOptions | None = None,
+        **legacy,
     ) -> None:
-        """``membership`` opts into the self-healing layer: a
-        :class:`~repro.fanstore.membership.FailureDetector` runs on a
-        background thread, dead homes are routed around, and lost
-        records are automatically re-replicated (pass ``True`` for the
-        default :class:`MembershipConfig`). ``rejoin_peer`` constructs
-        the store as a *relaunched* incarnation of its rank: partitions
-        are re-staged off the shared FS (never a collective — the
-        original cohort's collective sequence has moved on), metadata
-        comes from the peer's join snapshot, and the store only returns
-        after the peer verified a read against it and promoted it back
-        to ALIVE. ``rejoin_peer`` implies ``membership``."""
+        """See :class:`FanStoreOptions` for the knobs, and
+        :meth:`with_membership` / :meth:`rejoined` for the named
+        lifecycles. ``**legacy`` accepts the pre-options keywords
+        (``comm=``, ``config=``, ...) with a DeprecationWarning."""
+        if legacy:
+            unknown = set(legacy) - _LEGACY_KWARGS
+            if unknown:
+                raise TypeError(
+                    f"FanStore() got unexpected keyword argument(s) "
+                    f"{sorted(unknown)}"
+                )
+            warnings.warn(
+                "passing FanStore construction settings as keyword "
+                f"arguments ({', '.join(sorted(legacy))}) is deprecated; "
+                "build a FanStoreOptions instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            options = replace(options or FanStoreOptions(), **legacy)
+        opts = options if options is not None else FanStoreOptions()
+        self.options = opts
         if isinstance(prepared, (str, Path)):
             prepared = PreparedDataset.load(prepared)
         self.prepared = prepared
-        self.mount_point = mount_point.rstrip("/") or "/fanstore"
+        self.mount_point = opts.mount_point.rstrip("/") or "/fanstore"
+        backend = opts.backend
         if backend is None:
             backend = (
-                DiskBackend(local_dir) if local_dir is not None else RamBackend()
+                DiskBackend(opts.local_dir)
+                if opts.local_dir is not None else RamBackend()
             )
+        comm = opts.comm
         self.daemon = FanStoreDaemon(
-            comm, config=config, backend=backend, registry=registry
+            comm,
+            config=opts.config,
+            backend=backend,
+            registry=opts.registry,
+            metrics=opts.metrics,
         )
         self.client = FanStoreClient(self.daemon)
         self.membership: FailureDetector | None = None
         self._active = False
-        self._rejoined = rejoin_peer is not None
-        if rejoin_peer is not None and comm is None:
+        self._rejoined = opts.rejoin_peer is not None
+        membership = opts.membership
+        if self._rejoined and comm is None:
             raise FanStoreError("rejoin_peer requires a communicator")
-        if rejoin_peer is not None:
+        if self._rejoined:
             membership = membership or True
         if self._rejoined:
             self.daemon.load_rejoin(prepared)
@@ -92,19 +159,83 @@ class FanStore:
         self.daemon.start()
         if membership and comm is not None:
             cfg = membership if isinstance(membership, MembershipConfig) else None
-            self.membership = FailureDetector(comm, cfg)
+            self.membership = FailureDetector(
+                comm, cfg, metrics=self.daemon.metrics
+            )
             self.daemon.attach_membership(self.membership)
         if self._rejoined:
-            assert self.membership is not None and rejoin_peer is not None
-            snapshot = self.membership.request_join(rejoin_peer)
+            assert self.membership is not None and opts.rejoin_peer is not None
+            snapshot = self.membership.request_join(opts.rejoin_peer)
             if snapshot is not None:
                 self.daemon.apply_membership_snapshot(snapshot)
-            self.membership.request_promotion(rejoin_peer)
+            self.membership.request_promotion(opts.rejoin_peer)
         if self.membership is not None:
             self.membership.start()
         self._active = True
 
+    # -- named constructors --------------------------------------------------
+
+    @classmethod
+    def with_membership(
+        cls,
+        prepared: PreparedDataset | Path | str,
+        comm: Communicator,
+        *,
+        membership: MembershipConfig | bool = True,
+        options: FanStoreOptions | None = None,
+    ) -> "FanStore":
+        """A store with the self-healing layer on: failure detection,
+        dead-route avoidance, automatic re-replication. ``options``
+        carries any further settings (its ``comm``/``membership`` fields
+        are overridden by the arguments here)."""
+        opts = replace(
+            options or FanStoreOptions(), comm=comm, membership=membership
+        )
+        return cls(prepared, opts)
+
+    @classmethod
+    def rejoined(
+        cls,
+        prepared: PreparedDataset | Path | str,
+        comm: Communicator,
+        peer: int,
+        *,
+        options: FanStoreOptions | None = None,
+    ) -> "FanStore":
+        """A *relaunched* incarnation of a dead rank: partitions are
+        re-staged off the shared FS (never a collective — the original
+        cohort's collective sequence has moved on), metadata comes from
+        ``peer``'s join snapshot, and construction only returns after
+        ``peer`` verified a read against this store and promoted it
+        back to ALIVE. Implies membership."""
+        opts = replace(
+            options or FanStoreOptions(), comm=comm, rejoin_peer=peer
+        )
+        return cls(prepared, opts)
+
     # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """No-op while active (the constructor already started
+        everything); after a :meth:`shutdown`, restarts the daemon
+        service loop and the failure detector. Part of the
+        :class:`~repro.util.service.Service` contract."""
+        if self._active:
+            return
+        self.daemon.start()
+        if self.membership is not None:
+            self.membership.start()
+        self._active = True
+
+    def stop(self) -> None:
+        """Alias of :meth:`shutdown` (the Service-contract spelling)."""
+        self.shutdown()
+
+    @property
+    def running(self) -> bool:
+        """Whether this store is serving (constructed and not shut
+        down)."""
+        return self._active
 
     def shutdown(self) -> None:
         """Collective teardown: barrier (everyone done reading), then
@@ -128,12 +259,6 @@ class FanStore:
             self.daemon.comm.barrier()
         self.daemon.stop()
 
-    def __enter__(self) -> "FanStore":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.shutdown()
-
     # -- introspection ---------------------------------------------------------
 
     @property
@@ -147,6 +272,35 @@ class FanStore:
     @property
     def num_files(self) -> int:
         return len(self.daemon.metadata)
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """This rank's unified metrics registry (``daemon.*``,
+        ``cache.*``, ``codec.*``, ``membership.*``, ... — the catalogue
+        is in ``docs/observability.md``)."""
+        return self.daemon.metrics
+
+    @property
+    def tracer(self) -> Tracer:
+        """This rank's request tracer; export its finished spans with
+        :meth:`~repro.obs.tracing.Tracer.export_jsonl`."""
+        return self.daemon.tracer
+
+    def stats(self) -> DaemonStats:
+        """The legacy counter bag.
+
+        .. deprecated::
+            The fields now live in :attr:`metrics` as ``daemon.<field>``
+            (same storage — see :meth:`DaemonStats.bind`). Kept so
+            pre-observability callers compile; new code should read the
+            registry."""
+        warnings.warn(
+            "FanStore.stats() is deprecated; read FanStore.metrics "
+            "(names daemon.<field>) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.daemon.stats
 
     def export_ownership(self) -> dict:
         """This rank's post-membership ownership map (view epoch,

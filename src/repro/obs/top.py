@@ -1,0 +1,105 @@
+"""``fanstore-top`` — aggregate per-rank metric snapshots and traces.
+
+Points at the JSONL files the ranks exported (or a directory of them)
+and prints one merged, cluster-wide table::
+
+    $ fanstore-top obs-out/
+    fanstore-top: 2 rank snapshot(s), 47 metric(s)
+    metric                         type       value
+    ...
+    daemon.local_opens             counter    48
+    daemon.phase.fetch_seconds     histogram  count=12 mean=18us p50=20us ...
+
+``--per-rank`` adds each rank's own table under the merged one,
+``--filter PREFIX`` restricts to one namespace, ``--json`` emits the
+merged snapshot as JSONL for machines, ``--traces`` renders every trace
+tree found in the inputs, and ``--assert-non-empty`` exits non-zero
+when no metrics were found (what the CI observability job gates on).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.obs.metrics import load_snapshots, merge_snapshots
+from repro.obs.tracing import assemble_trace, format_trace, load_spans, trace_ids
+
+
+def _expand(paths: Iterable[str]) -> list[Path]:
+    """Files as given; directories expand to their ``*.jsonl``."""
+    out: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.extend(sorted(p.glob("*.jsonl")))
+        elif p.exists():
+            out.append(p)
+    return out
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fanstore-top",
+        description="Aggregate FanStore metric snapshots and traces "
+                    "exported by the repro.obs layer.",
+    )
+    parser.add_argument(
+        "paths", nargs="+",
+        help="snapshot/trace JSONL files, or directories of *.jsonl",
+    )
+    parser.add_argument("--filter", default="",
+                        help="only metrics whose name starts with PREFIX")
+    parser.add_argument("--per-rank", action="store_true",
+                        help="also print each rank's own table")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the merged snapshot as JSONL")
+    parser.add_argument("--traces", action="store_true",
+                        help="render the trace trees found in the inputs")
+    parser.add_argument("--assert-non-empty", action="store_true",
+                        help="exit 1 when no metrics were found (CI gate)")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    files = _expand(args.paths)
+    if not files:
+        print("fanstore-top: no input files found", file=sys.stderr)
+        return 1
+    snapshots = load_snapshots(files)
+    merged = merge_snapshots(snapshots)
+
+    if args.json:
+        for line in merged.to_lines():
+            print(line)
+    else:
+        print(
+            f"fanstore-top: {len(snapshots)} rank snapshot(s), "
+            f"{len(merged)} metric(s)"
+        )
+        print(merged.render(prefix=args.filter))
+        if args.per_rank:
+            for snap in snapshots:
+                label = f" [{snap.label}]" if snap.label else ""
+                print(f"\nrank {snap.rank}{label}:")
+                print(snap.render(prefix=args.filter))
+
+    if args.traces:
+        spans = load_spans(files)
+        ids = trace_ids(spans)
+        print(f"\ntraces: {len(ids)}")
+        for tid in ids:
+            print(f"\ntrace {tid}:")
+            print(format_trace(assemble_trace(spans, tid)))
+
+    if args.assert_non_empty and len(merged) == 0:
+        print("fanstore-top: merged snapshot is EMPTY", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the CLI
+    raise SystemExit(main())

@@ -14,9 +14,11 @@ from repro.selection.model import (
 from repro.selection.profiling import (
     DecompressionProfile,
     candidate_from_profile,
+    candidates_from_metrics,
     measure_client_read,
     model_read_performance,
     profile_compressor,
+    profile_from_metrics,
 )
 
 __all__ = [
@@ -30,6 +32,8 @@ __all__ = [
     "DecompressionProfile",
     "profile_compressor",
     "candidate_from_profile",
+    "profile_from_metrics",
+    "candidates_from_metrics",
     "measure_client_read",
     "model_read_performance",
     "SelectionCase",

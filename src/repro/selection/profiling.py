@@ -62,6 +62,54 @@ def profile_compressor(
     )
 
 
+def profile_from_metrics(registry, name: str) -> DecompressionProfile | None:
+    """Rebuild a :class:`DecompressionProfile` from the live
+    ``codec.<name>.*`` metrics the daemon's observed reads accumulate
+    (:meth:`FanStoreDaemon._decompress` with ``observed=True``) — the
+    production-traffic counterpart of :func:`profile_compressor`, no
+    offline sampling pass needed. Returns None when the codec has no
+    observations yet.
+
+    ``registry`` is a :class:`repro.obs.metrics.MetricsRegistry` (or a
+    :class:`~repro.obs.metrics.MetricsSnapshot` would need its own
+    reader — this reads the live objects)."""
+    hist_name = f"codec.{name}.decode_seconds"
+    if hist_name not in registry:
+        return None
+    hist = registry.get(hist_name)
+    if hist.count == 0:
+        return None
+    plain = registry.get(f"codec.{name}.decode_bytes").value
+    packed = registry.get(f"codec.{name}.decode_compressed_bytes").value
+    return DecompressionProfile(
+        name=name,
+        ratio=plain / max(packed, 1),
+        cost_per_file=hist.sum / hist.count,
+        throughput=hist.count / max(hist.sum, 1e-12),
+    )
+
+
+def candidates_from_metrics(
+    registry, names: Sequence[str] | None = None
+) -> list[CompressorCandidate]:
+    """Selection candidates for every codec the registry has decode
+    observations for (or the named subset) — feeds production traffic
+    straight into the §VI-B selection algorithm."""
+    if names is None:
+        prefix, suffix = "codec.", ".decode_seconds"
+        names = sorted(
+            n[len(prefix):-len(suffix)]
+            for n in registry.names()
+            if n.startswith(prefix) and n.endswith(suffix)
+        )
+    candidates = []
+    for name in names:
+        profile = profile_from_metrics(registry, name)
+        if profile is not None:
+            candidates.append(profile.as_candidate())
+    return candidates
+
+
 def candidate_from_profile(
     profile: PaperProfile, dataset: str, avg_file_size: int, arch: str = "skx"
 ) -> CompressorCandidate:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass
 from typing import Callable, Iterator, Sequence
 
@@ -124,6 +125,7 @@ class SyncLoader:
         world_size: int = 1,
         seed: int = 0,
         decoder: Decoder = identity_decoder,
+        metrics=None,
     ) -> None:
         self.client = client
         self.decoder = decoder
@@ -135,8 +137,19 @@ class SyncLoader:
             world_size=world_size,
             seed=seed,
         )
+        #: optional :class:`repro.obs.metrics.MetricsRegistry`: each
+        #: batch load feeds ``loader.batch_seconds`` plus the
+        #: ``loader.bytes_read``/``loader.batches`` counters (for the
+        #: AsyncLoader these time the *producer* thread's reads, which
+        #: is the quantity prefetching is supposed to hide).
+        self._h_batch = self._c_bytes = self._c_batches = None
+        if metrics is not None:
+            self._h_batch = metrics.histogram("loader.batch_seconds")
+            self._c_bytes = metrics.counter("loader.bytes_read")
+            self._c_batches = metrics.counter("loader.batches")
 
     def _load(self, epoch: int, iteration: int) -> Batch:
+        t0 = time.perf_counter()
         paths = self.plan.rank_files(epoch, iteration)
         samples = []
         nbytes = 0
@@ -144,6 +157,10 @@ class SyncLoader:
             raw = self.client.read_file(p)
             nbytes += len(raw)
             samples.append(self.decoder(raw, p))
+        if self._h_batch is not None:
+            self._h_batch.observe(time.perf_counter() - t0)
+            self._c_bytes.inc(nbytes)
+            self._c_batches.inc()
         return Batch(
             epoch=epoch,
             iteration=iteration,

@@ -105,6 +105,7 @@ class DataParallelTrainer:
         membership: FailureDetector | None = None,
         elastic_timeout: float = 2.0,
         elastic_deadline: float = 20.0,
+        metrics=None,
     ) -> None:
         self.model = model
         self.loader = loader
@@ -137,6 +138,21 @@ class DataParallelTrainer:
         #: a dead rank abort the epoch in seconds, not at the default
         #: collective timeout.
         self.comm_timeout = comm_timeout
+        #: optional :class:`repro.obs.metrics.MetricsRegistry`: when
+        #: given (usually ``fanstore.metrics``, so trainer and daemon
+        #: share one snapshot), every step is broken into the
+        #: ``trainer.{data,compute,allreduce,step}_seconds`` phase
+        #: histograms — the paper's "is I/O the bottleneck?" question
+        #: answered per run instead of per paper.
+        self.metrics = metrics
+        self._h_data = self._h_compute = self._h_reduce = self._h_step = None
+        self._c_steps = None
+        if metrics is not None:
+            self._h_data = metrics.histogram("trainer.data_seconds")
+            self._h_compute = metrics.histogram("trainer.compute_seconds")
+            self._h_reduce = metrics.histogram("trainer.allreduce_seconds")
+            self._h_step = metrics.histogram("trainer.step_seconds")
+            self._c_steps = metrics.counter("trainer.steps")
 
     # -- checkpoint plumbing ------------------------------------------------
 
@@ -186,9 +202,11 @@ class DataParallelTrainer:
         start = time.perf_counter()
         current_epoch: int | None = None
         log_lines: list[str] = []
+        prev_end = start
         for batch in self.loader:
             if batch.epoch <= start_epoch:
-                continue  # skip epochs already covered by the checkpoint
+                prev_end = time.perf_counter()  # skipped batches are not
+                continue  # data-wait; skip epochs covered by the checkpoint
             if current_epoch is None:
                 current_epoch = batch.epoch
             elif batch.epoch != current_epoch:
@@ -197,6 +215,7 @@ class DataParallelTrainer:
             it_start = time.perf_counter()
             x, labels = self.collate(batch)
             loss, grads = self.model.loss_and_gradients(x, labels)
+            t_compute = time.perf_counter()
             if self.comm is not None and self.comm.size > 1:
                 if self.membership is not None:
                     grads, loss = self._elastic_allreduce(
@@ -213,11 +232,21 @@ class DataParallelTrainer:
                     else:
                         grads = self.comm.allreduce(grads, np.add, **kw) / self.comm.size
                     loss = self.comm.allreduce(loss, lambda a, b: a + b, **kw) / self.comm.size
+            t_reduce = time.perf_counter()
             self.model.apply_gradients(grads, self.lr)
             report.iterations += 1
             report.losses.append(float(loss))
             report.bytes_read += batch.bytes_read
-            report.iteration_seconds.append(time.perf_counter() - it_start)
+            it_end = time.perf_counter()
+            report.iteration_seconds.append(it_end - it_start)
+            if self._h_step is not None:
+                # data = time spent inside the loader between iterations
+                self._h_data.observe(it_start - prev_end)
+                self._h_compute.observe(t_compute - it_start)
+                self._h_reduce.observe(t_reduce - t_compute)
+                self._h_step.observe(it_end - prev_end)
+                self._c_steps.inc()
+            prev_end = it_end
         if current_epoch is not None:
             self._on_epoch_end(current_epoch, report, log_lines)
         report.wall_seconds = time.perf_counter() - start

@@ -1,5 +1,7 @@
-"""Small shared utilities: units, statistics, deterministic RNG, timing."""
+"""Small shared utilities: units, statistics, deterministic RNG, timing,
+and the shared background-:class:`~repro.util.service.Service` contract."""
 
+from repro.util.service import Service, ServiceMixin, stop_all
 from repro.util.units import (
     KB,
     MB,
@@ -35,4 +37,7 @@ __all__ = [
     "summarize",
     "Timer",
     "measure_throughput",
+    "Service",
+    "ServiceMixin",
+    "stop_all",
 ]

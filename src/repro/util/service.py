@@ -1,0 +1,80 @@
+"""The shared lifecycle contract for background services.
+
+``FanStore`` (daemon service loop), ``Scrubber`` (background digest
+sweep) and ``FailureDetector`` (heartbeat loop) each grew their own
+start/stop conventions across PRs 1–3; this module is the one place
+the contract — and the *shutdown ordering* — now lives.
+
+The contract (:class:`Service`): ``start()`` is idempotent, ``stop()``
+is idempotent and safe before ``start()``, ``running`` reflects whether
+the background work is live, and every service is a context manager
+(``with svc: ...`` starts on entry, stops on exit — provided by
+:class:`ServiceMixin`).
+
+**Shutdown ordering.** Services stop in reverse dependency order,
+because each one issues work through the layer below it:
+
+1. **Scrubbers first** — a sweep issues daemon reads/repairs; stopping
+   the daemon under it turns in-flight repairs into spurious failures.
+2. **Membership second** — the detector's verification reads and
+   re-replication callbacks also go through the daemon, and a detector
+   outliving its daemon would convict every peer that stops answering
+   heartbeats during teardown.
+3. **The daemon last**, and only after no peer still needs this rank's
+   data — ``FanStore.shutdown`` interposes a collective barrier here
+   when the original cohort is still intact (membership history makes
+   collectives unsafe; see that docstring for the degraded regime).
+
+:func:`stop_all` applies that order mechanically: pass services in
+*start* order and it stops them in reverse, continuing past individual
+failures so one wedged service cannot leak the rest.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Service(Protocol):
+    """Structural interface every background service conforms to."""
+
+    def start(self) -> None:
+        """Begin background work; calling again while running is a no-op."""
+
+    def stop(self) -> None:
+        """End background work; idempotent, safe before ``start()``."""
+
+    @property
+    def running(self) -> bool:
+        """Whether background work is currently live."""
+
+
+class ServiceMixin:
+    """Context-manager support over ``start()``/``stop()``.
+
+    ``with svc:`` starts the service on entry (idempotent, so objects
+    that already started in their constructor — ``FanStore`` — compose
+    fine) and stops it on exit.
+    """
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def stop_all(*services: Service) -> list[Exception]:
+    """Stop ``services`` in reverse of the given (start) order — the
+    dependency-safe direction documented above. Exceptions are
+    collected, not raised, so one wedged service cannot leak the rest;
+    the caller decides what to do with them."""
+    failures: list[Exception] = []
+    for svc in reversed(services):
+        try:
+            svc.stop()
+        except Exception as exc:  # noqa: BLE001 - teardown must not cascade
+            failures.append(exc)
+    return failures

@@ -143,6 +143,23 @@ class TestQuarantine:
         cache.close("f")
         assert "f" not in cache  # retention does not apply to the doomed
 
+    def test_doomed_replacement_counts_an_eviction(self):
+        """Regression: the in-place replacement of quarantined bytes
+        drops the old data from residency, so it must count as an
+        eviction — quarantine-then-reload traffic used to undercount."""
+        cache = DecompressedCache(1000)
+        cache.open("f")
+        cache.insert("f", b"corrupt!")
+        cache.discard("f")  # pinned → doomed, not evicted
+        assert cache.stats.evictions == 0
+        cache.insert("f", b"repaired")  # old bytes leave residency here
+        assert cache.stats.evictions == 1
+        cache.close("f")
+        cache.close("f")
+        assert "f" not in cache
+        # lifecycle total: the doomed replacement plus the final free
+        assert cache.stats.evictions == 2
+
     def test_insert_replaces_doomed_bytes_in_place(self):
         """The repair path re-verifies and re-inserts while an old
         reader still holds the entry open: fresh bytes are served from
@@ -191,3 +208,22 @@ class TestConcurrency:
 def test_capacity_must_be_positive():
     with pytest.raises(FanStoreError):
         DecompressedCache(0)
+
+
+def test_bind_metrics_reads_through_live_counters():
+    """``cache.*`` registry metrics share storage with CacheStats and
+    the hit-ratio gauge is computed at snapshot time."""
+    from repro.obs import MetricsRegistry
+
+    cache = DecompressedCache(1000)
+    reg = MetricsRegistry()
+    cache.bind_metrics(reg)
+    cache.open("a")  # miss
+    cache.insert("a", b"xy")
+    assert cache.open("a") == b"xy"  # hit
+    snap = reg.snapshot()
+    assert snap.value("cache.opens") == 2
+    assert snap.value("cache.hits") == 1
+    assert snap.value("cache.misses") == 1
+    assert snap.value("cache.hit_ratio") == pytest.approx(0.5)
+    assert snap.value("cache.resident_bytes") == 2

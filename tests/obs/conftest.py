@@ -1,0 +1,21 @@
+"""Fixtures for the observability suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fanstore.metadata import normalize
+
+
+@pytest.fixture(scope="module")
+def originals(raw_dataset_dir):
+    """store path → raw bytes, for byte-identity assertions."""
+    expected = {}
+    train = raw_dataset_dir / "train"
+    for p in sorted(train.rglob("*")):
+        if p.is_file():
+            expected[normalize(str(p.relative_to(train)))] = p.read_bytes()
+    for p in sorted((raw_dataset_dir / "val").iterdir()):
+        if p.is_file():
+            expected[f"val/{p.name}"] = p.read_bytes()
+    return expected

@@ -1,0 +1,94 @@
+"""The ``fanstore-top`` aggregator CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.top import main
+
+
+@pytest.fixture()
+def obs_dir(tmp_path):
+    """Two ranks' worth of metrics plus one exported trace."""
+    for rank in range(2):
+        reg = MetricsRegistry(rank=rank, label="drill")
+        reg.counter("daemon.local_opens").inc(5 + rank)
+        reg.histogram("daemon.open_seconds").observe(1e-5)
+        reg.snapshot().write_jsonl(tmp_path / f"rank{rank}.metrics.jsonl")
+    tr = Tracer(rank=0)
+    with tr.root("client.read"):
+        with tr.span("fetch.degraded"):
+            pass
+    tr.export_jsonl(tmp_path / "rank0.traces.jsonl")
+    return tmp_path
+
+
+def test_directory_input_prints_merged_table(obs_dir, capsys):
+    assert main([str(obs_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "2 rank snapshot(s)" in out
+    assert "daemon.local_opens" in out
+    assert "11" in out  # 5 + 6 summed across ranks
+    assert "count=2" in out  # merged histogram
+
+
+def test_per_rank_tables(obs_dir, capsys):
+    assert main([str(obs_dir), "--per-rank"]) == 0
+    out = capsys.readouterr().out
+    assert "rank 0 [drill]:" in out and "rank 1 [drill]:" in out
+
+
+def test_filter_prefix(obs_dir, capsys):
+    for rank in range(2):
+        reg = MetricsRegistry(rank=rank, label="extra")
+        reg.counter("cache.hits").inc()
+        reg.snapshot().write_jsonl(
+            obs_dir / f"rank{rank}.metrics.jsonl", append=True
+        )
+    assert main([str(obs_dir), "--filter", "daemon."]) == 0
+    out = capsys.readouterr().out
+    assert "daemon.local_opens" in out and "cache.hits" not in out
+
+
+def test_json_output_parses(obs_dir, capsys):
+    assert main([str(obs_dir), "--json"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    objs = [json.loads(line) for line in lines]
+    assert all(obj["rank"] == -1 for obj in objs)
+    by_name = {obj["name"]: obj for obj in objs}
+    assert by_name["daemon.local_opens"]["value"] == 11
+
+
+def test_traces_rendering(obs_dir, capsys):
+    assert main([str(obs_dir), "--traces"]) == 0
+    out = capsys.readouterr().out
+    assert "traces: 1" in out
+    assert "client.read" in out and "fetch.degraded" in out
+
+
+def test_assert_non_empty_passes_with_metrics(obs_dir):
+    assert main([str(obs_dir), "--assert-non-empty"]) == 0
+
+
+def test_assert_non_empty_fails_on_empty_input(tmp_path, capsys):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert main([str(empty), "--assert-non-empty"]) == 1
+    assert "EMPTY" in capsys.readouterr().err
+
+
+def test_missing_inputs_exit_nonzero(tmp_path, capsys):
+    assert main([str(tmp_path / "nope.jsonl")]) == 1
+    assert "no input files" in capsys.readouterr().err
+
+
+def test_console_script_is_declared():
+    """The packaging hook: fanstore-top must point at this main."""
+    text = (
+        __import__("pathlib").Path(__file__)
+        .parents[2].joinpath("pyproject.toml").read_text()
+    )
+    assert 'fanstore-top = "repro.obs.top:main"' in text

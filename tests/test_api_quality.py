@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.datasets",
     "repro.bench",
     "repro.util",
+    "repro.obs",
 ]
 
 
