@@ -25,7 +25,7 @@ from repro.bench.report import PaperComparison
 from repro.comm.launcher import run_parallel
 from repro.datasets.synthetic import generate_dataset
 from repro.fanstore.prepare import prepare_dataset
-from repro.fanstore.store import FanStore
+from repro.fanstore.store import FanStore, FanStoreOptions
 from repro.training.loader import SyncLoader, list_training_files
 from repro.training.models import MLP
 from repro.training.trainer import DataParallelTrainer, make_array_collate
@@ -62,7 +62,7 @@ def skewed_dataset(tmp_path_factory):
 
 def _train_global(prepared):
     def body(comm):
-        with FanStore(prepared, comm=comm) as fs:
+        with FanStore(prepared, FanStoreOptions(comm=comm)) as fs:
             files = list_training_files(fs.client)
             loader = SyncLoader(
                 fs.client, files, batch_size=BATCH, epochs=EPOCHS,
@@ -85,7 +85,7 @@ def _train_chunked(prepared):
     local chunk, permuted every PERMUTE_EVERY epochs."""
 
     def body(comm):
-        with FanStore(prepared, comm=comm) as fs:
+        with FanStore(prepared, FanStoreOptions(comm=comm)) as fs:
             local = {
                 rec.path: fs.client.read_file(rec.path)
                 for rec in fs.daemon.metadata.local_records(comm.rank)

@@ -16,7 +16,7 @@ from repro.comm.launcher import run_parallel
 from repro.datasets.synthetic import generate_dataset
 from repro.fanstore.daemon import DaemonConfig
 from repro.fanstore.prepare import prepare_dataset
-from repro.fanstore.store import FanStore
+from repro.fanstore.store import FanStore, FanStoreOptions
 
 RANKS = 4
 
@@ -36,7 +36,7 @@ def _run_with_budget(prepared, budget: int):
     config = DaemonConfig(extra_partition_budget=budget)
 
     def body(comm):
-        with FanStore(prepared, comm=comm, config=config) as fs:
+        with FanStore(prepared, FanStoreOptions(comm=comm, config=config)) as fs:
             for rec in fs.daemon.metadata.walk_files():
                 fs.client.read_file(rec.path)
             return (

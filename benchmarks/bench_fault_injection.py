@@ -22,7 +22,7 @@ from repro.datasets.synthetic import generate_dataset
 from repro.errors import CommClosedError, RankDeadError
 from repro.fanstore.daemon import _REPLY_TAG_BASE, DaemonConfig
 from repro.fanstore.prepare import prepare_dataset
-from repro.fanstore.store import FanStore
+from repro.fanstore.store import FanStore, FanStoreOptions
 
 RANKS = 3
 DEAD = 2
@@ -65,7 +65,7 @@ def _run_healthy(prepared, plan=None):
     config = DaemonConfig(**FAST)
 
     def body(comm):
-        with FanStore(prepared, comm=comm, config=config) as fs:
+        with FanStore(prepared, FanStoreOptions(comm=comm, config=config)) as fs:
             _read_all(fs)
             return _counters(fs.daemon.stats)
 
@@ -81,7 +81,7 @@ def _run_dead_rank(prepared, budget):
     config = DaemonConfig(extra_partition_budget=budget, **FAST)
 
     def body(comm):
-        fs = FanStore(prepared, comm=comm, config=config)
+        fs = FanStore(prepared, FanStoreOptions(comm=comm, config=config))
         comm.barrier()
         if comm.rank == DEAD:
             try:

@@ -15,7 +15,7 @@ import time
 from repro.bench.report import PaperComparison
 from repro.fanstore.daemon import DaemonConfig
 from repro.fanstore.scrub import Scrubber
-from repro.fanstore.store import FanStore
+from repro.fanstore.store import FanStore, FanStoreOptions
 
 ROUNDS = 5
 
@@ -30,7 +30,7 @@ def _read_pass(fs) -> int:
 def _timed_reads(prepared, verify: bool) -> tuple[float, int]:
     """Best-of-ROUNDS full-namespace read pass."""
     config = DaemonConfig(verify_reads=verify)
-    with FanStore(prepared, config=config) as fs:
+    with FanStore(prepared, FanStoreOptions(config=config)) as fs:
         _read_pass(fs)  # warm the OS page cache / backend staging
         best, nbytes = float("inf"), 0
         for _ in range(ROUNDS):

@@ -25,7 +25,7 @@ from repro.errors import CommClosedError, RankDeadError
 from repro.fanstore.daemon import DaemonConfig
 from repro.fanstore.membership import MembershipConfig, RankState
 from repro.fanstore.prepare import prepare_dataset
-from repro.fanstore.store import FanStore
+from repro.fanstore.store import FanStore, FanStoreOptions
 
 RANKS = 3
 DEAD = 2
@@ -86,7 +86,7 @@ def _run_ladder(prepared):
     config = DaemonConfig(extra_partition_budget=1, **FAST)
 
     def body(comm):
-        fs = FanStore(prepared, comm=comm, config=config)
+        fs = FanStore(prepared, FanStoreOptions(comm=comm, config=config))
         comm.barrier()
         if comm.rank == DEAD:
             _park_corpse(comm)
@@ -112,7 +112,9 @@ def _run_membership(prepared):
     config = DaemonConfig(extra_partition_budget=1, **FAST)
 
     def body(comm):
-        fs = FanStore(prepared, comm=comm, config=config, membership=MCFG)
+        fs = FanStore(
+            prepared, FanStoreOptions(comm=comm, config=config, membership=MCFG)
+        )
         det = fs.membership
         comm.barrier()
         if comm.rank == DEAD:

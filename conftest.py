@@ -1,0 +1,6 @@
+"""Repo-root conftest: activates the lockdep witness for every pytest
+run (tier-1, benchmarks, seed matrices). See
+``src/repro/analysis/pytest_plugin.py``; disable with
+``FANSTORE_LOCKDEP=0``."""
+
+pytest_plugins = ("repro.analysis.pytest_plugin",)

@@ -21,7 +21,7 @@ from pathlib import Path
 
 from repro.cluster import analyze_placement, gtx
 from repro.datasets import generate_dataset
-from repro.fanstore import FanStore, intercept, prepare_dataset
+from repro.fanstore import FanStore, FanStoreOptions, intercept, prepare_dataset
 from repro.training import SyncLoader, list_training_files
 from repro.util import GB, format_bytes
 
@@ -46,7 +46,7 @@ def main() -> None:
           f"compression ratio {prepared.ratio:.2f}x")
 
     print("\n== 3. mount and read through the POSIX client ==")
-    with FanStore(prepared, mount_point="/fanstore") as fs:
+    with FanStore(prepared, FanStoreOptions(mount_point="/fanstore")) as fs:
         classes = fs.client.listdir("")
         print(f"   namespace: {classes}")
         first = f"cls0000/{fs.client.listdir('cls0000')[0]}"

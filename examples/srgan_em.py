@@ -21,7 +21,12 @@ import numpy as np
 from repro.comm import run_parallel
 from repro.compressors.profiles import PAPER_PROFILES
 from repro.datasets import generate_dataset
-from repro.fanstore import CheckpointManager, FanStore, prepare_dataset
+from repro.fanstore import (
+    CheckpointManager,
+    FanStore,
+    FanStoreOptions,
+    prepare_dataset,
+)
 from repro.selection import CompressorSelector
 from repro.selection.cases import srgan_gtx
 from repro.selection.profiling import candidate_from_profile
@@ -75,7 +80,7 @@ def main() -> None:
     ckpt_dir = workdir / "ckpt"
 
     def node_main(comm):
-        with FanStore(prepared, comm=comm) as fs:
+        with FanStore(prepared, FanStoreOptions(comm=comm)) as fs:
             files = list_training_files(fs.client)
             loader = SyncLoader(
                 fs.client, files, batch_size=8, epochs=EPOCHS,

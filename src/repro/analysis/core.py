@@ -1,0 +1,310 @@
+"""The lint framework: findings, inline waivers, the pass registry.
+
+A *pass* sees the whole project (every parsed source file) and yields
+:class:`Finding` objects. The runner then applies the inline waiver
+syntax::
+
+    risky_call()  # lint: allow[rule-id] one-line reason why this is OK
+
+A waiver suppresses findings of its rule on its own line (and, when the
+comment stands alone on a line, on the next line — so long lines can
+carry their waiver above them). ``file-allow`` at any line waives a rule
+for the whole file::
+
+    # lint: file-allow[determinism] replay trace timing is wall-clock by design
+
+Every waiver must carry a written reason; a bare ``allow[...]`` is
+itself a finding (rule ``waiver-syntax``) and does not suppress
+anything. Waived findings stay in the report (marked) so reviewers see
+what was silenced and why; only *unwaived* findings gate CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Iterator
+
+_WAIVER_RE = re.compile(
+    r"#\s*lint:\s*(?P<scope>file-)?allow\[(?P<rules>[A-Za-z0-9_,\- ]+)\]"
+    r"\s*(?P<reason>.*?)\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # as-given (usually repo-relative) display path
+    line: int
+    message: str
+    waived: bool = False
+    reason: str = ""  # the waiver's written reason, when waived
+
+    def render(self) -> str:
+        mark = " (waived: " + self.reason + ")" if self.waived else ""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}{mark}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "waived": self.waived,
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One parsed ``# lint: allow[...]`` comment."""
+
+    rules: tuple[str, ...]
+    reason: str
+    line: int
+    file_scope: bool = False
+
+
+class SourceFile:
+    """One parsed Python source file plus its waiver comments."""
+
+    def __init__(self, path: Path, display: str | None = None) -> None:
+        self.path = Path(path)
+        self.display = display if display is not None else str(path)
+        self.text = self.path.read_text(encoding="utf-8")
+        self.lines = self.text.splitlines()
+        self.parse_error: SyntaxError | None = None
+        try:
+            self.tree: ast.Module = ast.parse(self.text)
+        except SyntaxError as exc:
+            self.parse_error = exc
+            self.tree = ast.Module(body=[], type_ignores=[])
+        self.waivers: list[Waiver] = []
+        self.bad_waivers: list[Finding] = []
+        self._scan_waivers()
+
+    def _scan_waivers(self) -> None:
+        # only true comment tokens count — a waiver marker inside a
+        # string literal or docstring is never a waiver
+        try:
+            tokens = [
+                (tok.start[0], tok.string)
+                for tok in tokenize.generate_tokens(
+                    io.StringIO(self.text).readline
+                )
+                if tok.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            tokens = []
+        for lineno, comment in tokens:
+            if "lint:" not in comment:
+                continue
+            m = _WAIVER_RE.search(comment)
+            if m is None:
+                self.bad_waivers.append(
+                    Finding(
+                        rule="waiver-syntax",
+                        path=self.display,
+                        line=lineno,
+                        message=(
+                            "unparseable waiver comment; expected "
+                            "'# lint: allow[rule-id] reason'"
+                        ),
+                    )
+                )
+                continue
+            rules = tuple(
+                r.strip() for r in m.group("rules").split(",") if r.strip()
+            )
+            reason = m.group("reason")
+            if not rules or not reason:
+                self.bad_waivers.append(
+                    Finding(
+                        rule="waiver-syntax",
+                        path=self.display,
+                        line=lineno,
+                        message=(
+                            "waiver without a written reason suppresses "
+                            "nothing; add one after the ']'"
+                        ),
+                    )
+                )
+                continue
+            self.waivers.append(
+                Waiver(
+                    rules=rules,
+                    reason=reason,
+                    line=lineno,
+                    file_scope=m.group("scope") is not None,
+                )
+            )
+
+    def waiver_for(self, rule: str, line: int) -> Waiver | None:
+        """The waiver covering ``rule`` at ``line``, if any."""
+        for w in self.waivers:
+            if rule not in w.rules and "*" not in w.rules:
+                continue
+            if w.file_scope:
+                return w
+            if w.line == line:
+                return w
+            # a comment-only line waives the line after it
+            if w.line == line - 1 and self._comment_only(w.line):
+                return w
+        return None
+
+    def _comment_only(self, lineno: int) -> bool:
+        body = self.lines[lineno - 1].split("#", 1)[0]
+        return not body.strip()
+
+
+class Project:
+    """Every source file a lint run can see, plus the repo root (for
+    cross-artifact passes like the metric catalogue, which reads
+    ``docs/observability.md``)."""
+
+    def __init__(self, files: Iterable[SourceFile], root: Path | None = None):
+        self.files = list(files)
+        self.root = Path(root) if root is not None else Path.cwd()
+        self._by_suffix: dict[str, SourceFile] = {}
+
+    @classmethod
+    def load(cls, paths: Iterable[Path | str], root: Path | None = None) -> "Project":
+        """Load ``paths`` (files or directories, recursively) as a
+        project. Display paths are kept relative to ``root`` when
+        possible."""
+        rootp = Path(root) if root is not None else Path.cwd()
+        sources: list[SourceFile] = []
+        for raw in paths:
+            p = Path(raw)
+            candidates = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+            for c in candidates:
+                try:
+                    display = str(c.resolve().relative_to(rootp.resolve()))
+                except ValueError:
+                    display = str(c)
+                sources.append(SourceFile(c, display))
+        return cls(sources, rootp)
+
+    def find(self, suffix: str) -> SourceFile | None:
+        """The file whose display path ends with ``suffix`` (e.g.
+        ``"repro/errors.py"``), or None."""
+        cached = self._by_suffix.get(suffix)
+        if cached is not None:
+            return cached
+        for f in self.files:
+            if f.display.replace("\\", "/").endswith(suffix):
+                self._by_suffix[suffix] = f
+                return f
+        return None
+
+    def __iter__(self) -> Iterator[SourceFile]:
+        return iter(self.files)
+
+
+class LintPass:
+    """Base class for one lint rule. Subclasses set :attr:`rule` and
+    :attr:`title` and implement :meth:`run`."""
+
+    rule: str = ""
+    title: str = ""
+
+    def run(self, project: Project) -> Iterable[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def finding(self, source: SourceFile, node: ast.AST | int, message: str) -> Finding:
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Finding(
+            rule=self.rule, path=source.display, line=line, message=message
+        )
+
+
+@dataclass
+class LintReport:
+    """Everything one run produced: findings (waived ones included and
+    marked), and enough counts for a one-line summary."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: tuple[str, ...] = ()
+
+    @property
+    def unwaived(self) -> list[Finding]:
+        return [f for f in self.findings if not f.waived]
+
+    @property
+    def waived(self) -> list[Finding]:
+        return [f for f in self.findings if f.waived]
+
+    @property
+    def ok(self) -> bool:
+        return not self.unwaived
+
+    def summary(self) -> str:
+        return (
+            f"{self.files_scanned} files, {len(self.rules_run)} rules: "
+            f"{len(self.unwaived)} finding(s), {len(self.waived)} waived"
+        )
+
+
+def apply_waivers(project: Project, findings: Iterable[Finding]) -> list[Finding]:
+    """Mark findings covered by an inline waiver; leaves others as-is.
+    Waivers only apply to findings anchored in the waiving file — a
+    finding in ``docs/`` (catalogue drift) cannot be waived from code."""
+    by_display = {f.display: f for f in project}
+    out: list[Finding] = []
+    for finding in findings:
+        src = by_display.get(finding.path)
+        waiver = (
+            src.waiver_for(finding.rule, finding.line) if src is not None else None
+        )
+        if waiver is not None:
+            finding = replace(finding, waived=True, reason=waiver.reason)
+        out.append(finding)
+    return out
+
+
+def run_lint(
+    paths: Iterable[Path | str],
+    *,
+    root: Path | None = None,
+    rules: Iterable[str] | None = None,
+    passes: Iterable[LintPass] | None = None,
+) -> LintReport:
+    """Load ``paths``, run the registered passes (optionally filtered by
+    rule id), apply waivers, and return the report."""
+    if passes is None:
+        from repro.analysis.passes import all_passes
+
+        passes = all_passes()
+    selected = [
+        p for p in passes if rules is None or p.rule in set(rules)
+    ]
+    project = Project.load(paths, root=root)
+    findings: list[Finding] = []
+    for src in project:
+        if src.parse_error is not None:
+            findings.append(
+                Finding(
+                    rule="parse",
+                    path=src.display,
+                    line=src.parse_error.lineno or 1,
+                    message=f"file does not parse: {src.parse_error.msg}",
+                )
+            )
+        findings.extend(src.bad_waivers)
+    for lint_pass in selected:
+        findings.extend(lint_pass.run(project))
+    findings = apply_waivers(project, findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return LintReport(
+        findings=findings,
+        files_scanned=len(project.files),
+        rules_run=tuple(p.rule for p in selected),
+    )

@@ -1,0 +1,316 @@
+"""Runtime lock-order witness, in the spirit of the kernel's lockdep.
+
+While installed, :class:`LockdepWitness` replaces the
+``threading.Lock``/``threading.RLock`` factories with proxies that
+record, per thread, the stack of locks currently held and — whenever a
+lock is acquired with others held — *acquired-while-held* edges between
+lock **classes**. A lock's class is its allocation site (``file:line``
+of the factory call), so the many per-instance locks of one shape (each
+daemon's ``_reply_lock``, say) collapse into one graph node, and an
+inversion between two ranks' instances is still a cycle.
+
+Each first-seen edge stores a witness stack. When a new edge closes a
+directed cycle, the cycle is recorded with both directions' stacks —
+the two code paths that can deadlock — and the suite (via
+:mod:`repro.analysis.pytest_plugin`) fails with the report. Detection
+is edge-based: the ABBA pattern is caught even when the runs never
+actually interleave, which is the point — the witness turns the 3-rank
+chaos/membership drills into race drills without needing the race to
+fire.
+
+The witness's own bookkeeping uses the raw ``_thread`` primitive so it
+is immune to its own patching. RLock proxies implement the private
+Condition protocol (``_is_owned``/``_acquire_restore``/
+``_release_save``) by delegation, with held-stack bookkeeping folded
+in; Lock proxies deliberately do not, so ``threading.Condition`` takes
+its documented fallback path for non-reentrant locks.
+"""
+
+from __future__ import annotations
+
+import _thread
+import threading
+import traceback
+from dataclasses import dataclass, field
+
+_STACK_LIMIT = 16
+#: frames inside this module, skipped when attributing sites/stacks
+_SELF_FILE = __file__
+
+
+def _call_site() -> str:
+    """file:line of the nearest frame outside this module."""
+    for frame in reversed(traceback.extract_stack(limit=24)):
+        if frame.filename != _SELF_FILE:
+            parts = frame.filename.replace("\\", "/").split("/")
+            return f"{'/'.join(parts[-3:])}:{frame.lineno}"
+    return "<unknown>:0"
+
+
+def _witness_stack() -> tuple[str, ...]:
+    out = []
+    for frame in traceback.extract_stack(limit=_STACK_LIMIT):
+        if frame.filename == _SELF_FILE:
+            continue
+        out.append(f"{frame.filename}:{frame.lineno} in {frame.name}")
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """First observation of ``dst`` acquired while ``src`` was held."""
+
+    src: str
+    dst: str
+    thread: str
+    stack: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Cycle:
+    """A directed cycle of lock classes, with one witness per edge."""
+
+    chain: tuple[str, ...]  # lock classes, cycle order
+    edges: tuple[Edge, ...]
+
+    def render(self) -> str:
+        lines = [
+            "lock-order cycle: " + " -> ".join(self.chain + (self.chain[0],))
+        ]
+        for e in self.edges:
+            lines.append(f"  {e.dst} acquired while holding {e.src} "
+                         f"[thread {e.thread}]:")
+            for frame in e.stack[-6:]:
+                lines.append(f"    {frame}")
+        return "\n".join(lines)
+
+
+@dataclass
+class _TLS(threading.local):
+    held: list[str] = field(default_factory=list)
+
+
+class LockdepWitness:
+    """Install with :meth:`install`, read :attr:`cycles` at teardown."""
+
+    def __init__(self) -> None:
+        self._mutex = _thread.allocate_lock()
+        self._tls = _TLS()
+        self.edges: dict[tuple[str, str], Edge] = {}
+        self.cycles: list[Cycle] = []
+        self._installed = False
+        self._orig_lock = None
+        self._orig_rlock = None
+        self._prev_current: "LockdepWitness | None" = None
+
+    # -- patching ---------------------------------------------------------
+
+    def install(self) -> None:
+        global _current
+        if self._installed:
+            return
+        self._orig_lock = threading.Lock
+        self._orig_rlock = threading.RLock
+        witness = self
+
+        def make_lock():  # noqa: ANN202 - factory signature mirrors threading
+            return _LockProxy(_thread.allocate_lock(), _call_site(), witness)
+
+        def make_rlock():
+            return _RLockProxy(witness._orig_rlock(), _call_site(), witness)
+
+        threading.Lock = make_lock  # type: ignore[assignment]
+        threading.RLock = make_rlock  # type: ignore[assignment]
+        self._installed = True
+        self._prev_current = _current
+        _current = self
+
+    def uninstall(self) -> None:
+        global _current
+        if not self._installed:
+            return
+        threading.Lock = self._orig_lock  # type: ignore[assignment]
+        threading.RLock = self._orig_rlock  # type: ignore[assignment]
+        self._installed = False
+        if _current is self:
+            _current = self._prev_current
+        self._prev_current = None
+
+    def __enter__(self) -> "LockdepWitness":
+        self.install()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+
+    # -- bookkeeping (called from proxies) --------------------------------
+
+    def note_acquired(self, site: str, count: int = 1) -> None:
+        held = self._tls.held
+        if held and site not in held:
+            self._record_edges(tuple(held), site)
+        held.extend([site] * count)
+
+    def note_released(self, site: str) -> None:
+        held = self._tls.held
+        for i in range(len(held) - 1, -1, -1):
+            if held[i] == site:
+                del held[i]
+                return
+
+    def note_released_all(self, site: str) -> int:
+        """Remove every occurrence (Condition.wait path); returns the
+        count so ``_acquire_restore`` can put them back."""
+        held = self._tls.held
+        count = held.count(site)
+        if count:
+            self._tls.held = [s for s in held if s != site]
+        return count
+
+    def _record_edges(self, held: tuple[str, ...], new: str) -> None:
+        for src in dict.fromkeys(held):  # distinct, order-preserving
+            if src == new or (src, new) in self.edges:
+                continue
+            with self._mutex:
+                if (src, new) in self.edges:
+                    continue
+                edge = Edge(
+                    src=src,
+                    dst=new,
+                    thread=threading.current_thread().name,
+                    stack=_witness_stack(),
+                )
+                self.edges[(src, new)] = edge
+                cycle = self._find_cycle(new, src)
+                if cycle is not None:
+                    self.cycles.append(cycle)
+
+    def _find_cycle(self, start: str, target: str) -> Cycle | None:
+        """DFS for a path start → target in the edge graph; with the
+        just-added target → start edge that path is a cycle."""
+        graph: dict[str, list[str]] = {}
+        for a, b in self.edges:
+            graph.setdefault(a, []).append(b)
+        stack: list[tuple[str, list[str]]] = [(start, [start])]
+        seen = {start}
+        while stack:
+            node, path = stack.pop()
+            for nxt in graph.get(node, ()):
+                if nxt == target:
+                    chain = [target] + path
+                    edges = []
+                    for i, src in enumerate(chain):
+                        dst = chain[(i + 1) % len(chain)]
+                        edges.append(self.edges[(src, dst)])
+                    return Cycle(chain=tuple(chain), edges=tuple(edges))
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, path + [nxt]))
+        return None
+
+    # -- reporting --------------------------------------------------------
+
+    def report(self) -> str:
+        if not self.cycles:
+            return (
+                f"lockdep: no lock-order cycles "
+                f"({len(self.edges)} edge(s) observed)"
+            )
+        parts = [f"lockdep: {len(self.cycles)} lock-order cycle(s) detected"]
+        parts.extend(c.render() for c in self.cycles)
+        return "\n".join(parts)
+
+
+class _LockProxy:
+    """Wraps a raw ``_thread`` lock; no Condition protocol on purpose
+    (Condition's non-reentrant fallback uses plain acquire/release)."""
+
+    def __init__(self, inner, site: str, witness: LockdepWitness) -> None:
+        self._inner = inner
+        self._site = site
+        self._witness = witness
+
+    def acquire(self, blocking: bool = True, timeout: float = -1):
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._witness.note_acquired(self._site)
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        self._witness.note_released(self._site)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"<lockdep Lock {self._site} wrapping {self._inner!r}>"
+
+    def __getattr__(self, name):
+        # _at_fork_reinit and friends pass straight through
+        return getattr(self._inner, name)
+
+
+class _RLockProxy:
+    """Wraps a real RLock and speaks Condition's private protocol."""
+
+    def __init__(self, inner, site: str, witness: LockdepWitness) -> None:
+        self._inner = inner
+        self._site = site
+        self._witness = witness
+
+    def acquire(self, blocking: bool = True, timeout: float = -1):
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._witness.note_acquired(self._site)
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        self._witness.note_released(self._site)
+
+    def locked(self) -> bool:
+        locked = getattr(self._inner, "locked", None)
+        return locked() if locked is not None else self._inner._is_owned()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    # Condition protocol -------------------------------------------------
+
+    def _is_owned(self) -> bool:
+        return self._inner._is_owned()
+
+    def _release_save(self):
+        count = self._witness.note_released_all(self._site)
+        return self._inner._release_save(), count
+
+    def _acquire_restore(self, saved) -> None:
+        state, count = saved
+        self._inner._acquire_restore(state)
+        self._witness.note_acquired(self._site, count=max(count, 1))
+
+    def __repr__(self) -> str:
+        return f"<lockdep RLock {self._site} wrapping {self._inner!r}>"
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+_current: LockdepWitness | None = None
+
+
+def current_witness() -> LockdepWitness | None:
+    """The installed witness, if any (set by :meth:`LockdepWitness.install`)."""
+    return _current

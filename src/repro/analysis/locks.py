@@ -1,0 +1,363 @@
+"""Project-wide lock model: who owns which locks, which regions hold
+them, and what runs inside those regions.
+
+The model is built once per lint run and shared by the *lock-order* and
+*blocking-under-lock* passes. It is deliberately conservative in both
+directions a heuristic can be: it only understands the idioms this
+codebase actually uses (``self._lock = threading.Lock()`` ownership,
+``with self._lock:`` regions, ``self.attr.method()`` cross-object
+calls with constructor- or annotation-derived attribute types), and it
+follows calls *interprocedurally* so a lock acquired three frames below
+a held region still produces an edge.
+
+Lock identity is class-scoped (``ClassName.attr``), matching the
+runtime witness in :mod:`repro.analysis.lockdep`, which groups lock
+instances by allocation site — two instances of the same class's
+``_lock`` are one node in both graphs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.analysis.core import Project, SourceFile
+
+#: factory callables (as ``threading.X`` / bare imported ``X``) whose
+#: result we treat as a lock for ordering purposes.
+LOCK_FACTORIES = {"Lock": "Lock", "RLock": "RLock", "Condition": "Condition"}
+
+_MAX_CALL_DEPTH = 10
+
+
+@dataclass(frozen=True)
+class LockSite:
+    """One lock attribute of one class."""
+
+    cls: str
+    attr: str
+    kind: str  # Lock | RLock | Condition
+    source: str  # display path of the defining file
+    line: int
+
+    @property
+    def key(self) -> str:
+        return f"{self.cls}.{self.attr}"
+
+
+@dataclass(frozen=True)
+class AcquireEvent:
+    """Lock ``lock`` acquired while ``held`` (innermost last) was held.
+    ``source``/``node`` anchor the acquisition site; ``entry`` names the
+    (class, method) the traversal started from."""
+
+    lock: LockSite
+    held: tuple[LockSite, ...]
+    source: SourceFile
+    node: ast.AST
+    entry: str
+
+
+@dataclass(frozen=True)
+class CallEvent:
+    """A call expression evaluated while ``held`` was held."""
+
+    call: ast.Call
+    held: tuple[LockSite, ...]
+    source: SourceFile
+    entry: str
+
+
+@dataclass
+class ClassModel:
+    name: str
+    source: SourceFile
+    node: ast.ClassDef
+    locks: dict[str, LockSite] = field(default_factory=dict)
+    attr_types: dict[str, str] = field(default_factory=dict)  # attr -> class
+    methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
+
+
+def _threading_names(tree: ast.Module) -> set[str]:
+    """Names bound by ``from threading import X`` in this module."""
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.ImportFrom) and node.module == "threading":
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+    return names
+
+
+def _factory_kind(call: ast.expr, local_threading: set[str]) -> str | None:
+    """``threading.Lock()`` / imported ``Lock()`` → "Lock" (etc.)."""
+    if not isinstance(call, ast.Call):
+        return None
+    fn = call.func
+    if (
+        isinstance(fn, ast.Attribute)
+        and isinstance(fn.value, ast.Name)
+        and fn.value.id == "threading"
+    ):
+        return LOCK_FACTORIES.get(fn.attr)
+    if isinstance(fn, ast.Name) and fn.id in local_threading:
+        return LOCK_FACTORIES.get(fn.id)
+    return None
+
+
+def _annotation_classes(node: ast.expr | None) -> list[str]:
+    """Class names mentioned in an annotation (handles ``A | B | None``
+    and string annotations like ``"A | None"``)."""
+    if node is None:
+        return []
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return []
+    names: list[str] = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id not in ("None",):
+            names.append(sub.id)
+    return names
+
+
+class LockModel:
+    """The project's classes, their locks, and the traversal engine."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.classes: dict[str, ClassModel] = {}
+        for src in project:
+            local_threading = _threading_names(src.tree)
+            for node in ast.walk(src.tree):
+                if isinstance(node, ast.ClassDef):
+                    self._index_class(src, node, local_threading)
+
+    # -- model construction ------------------------------------------------
+
+    def _index_class(
+        self, src: SourceFile, node: ast.ClassDef, local_threading: set[str]
+    ) -> None:
+        model = ClassModel(name=node.name, source=src, node=node)
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                model.methods[item.name] = item  # type: ignore[assignment]
+                self._scan_self_assignments(model, item, local_threading)
+        # a later class of the same name would shadow an earlier one;
+        # keep the first and let name collisions stay conservative
+        self.classes.setdefault(node.name, model)
+
+    def _scan_self_assignments(
+        self, model: ClassModel, fn: ast.FunctionDef, local_threading: set[str]
+    ) -> None:
+        params = {
+            a.arg: _annotation_classes(a.annotation)
+            for a in list(fn.args.args) + list(fn.args.kwonlyargs)
+        }
+        for node in ast.walk(fn):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            value = node.value
+            for target in targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                attr = target.attr
+                kind = _factory_kind(value, local_threading) if value else None
+                if kind is not None:
+                    model.locks[attr] = LockSite(
+                        cls=model.name,
+                        attr=attr,
+                        kind=kind,
+                        source=model.source.display,
+                        line=node.lineno,
+                    )
+                    continue
+                # self.x = ClassName(...) → attribute type
+                if (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                ):
+                    model.attr_types.setdefault(attr, value.func.id)
+                # self.x = param (typed parameter) → annotation type
+                elif isinstance(value, ast.Name) and value.id in params:
+                    for cls_name in params[value.id]:
+                        model.attr_types.setdefault(attr, cls_name)
+                        break
+                # AnnAssign with explicit annotation: self.x: T = ...
+                if isinstance(node, ast.AnnAssign):
+                    for cls_name in _annotation_classes(node.annotation):
+                        model.attr_types.setdefault(attr, cls_name)
+                        break
+
+    # -- resolution --------------------------------------------------------
+
+    def resolve_chain(
+        self, model: ClassModel, expr: ast.expr
+    ) -> tuple[ClassModel | None, str | None]:
+        """Resolve ``self.a.b…x`` to (owning class model, final attr).
+        Returns (None, None) when any hop is untyped."""
+        parts: list[str] = []
+        node = expr
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not (isinstance(node, ast.Name) and node.id == "self"):
+            return None, None
+        parts.reverse()  # [a, b, ..., x]
+        current = model
+        for hop in parts[:-1]:
+            next_cls = current.attr_types.get(hop)
+            if next_cls is None or next_cls not in self.classes:
+                return None, None
+            current = self.classes[next_cls]
+        return current, parts[-1]
+
+    # -- traversal ---------------------------------------------------------
+
+    def walk_all(
+        self,
+        *,
+        on_acquire: Callable[[AcquireEvent], None] | None = None,
+        on_call: Callable[[CallEvent], None] | None = None,
+        class_filter: Callable[[ClassModel], bool] | None = None,
+    ) -> None:
+        """Traverse every method of every (filtered) class from a
+        no-locks-held entry state, following intra-project calls, and
+        report lock acquisitions and calls with their held context."""
+        for model in self.classes.values():
+            if class_filter is not None and not class_filter(model):
+                continue
+            for name in model.methods:
+                entry = f"{model.name}.{name}"
+                self._walk_method(
+                    model, name, (), entry, on_acquire, on_call,
+                    visiting=set(), depth=0,
+                )
+
+    def _walk_method(
+        self,
+        model: ClassModel,
+        method: str,
+        held: tuple[LockSite, ...],
+        entry: str,
+        on_acquire,
+        on_call,
+        visiting: set[tuple[str, str]],
+        depth: int,
+    ) -> None:
+        fn = model.methods.get(method)
+        if fn is None or depth > _MAX_CALL_DEPTH:
+            return
+        key = (model.name, method)
+        if key in visiting:
+            return  # recursion (direct or mutual): already on this path
+        visiting.add(key)
+        try:
+            for stmt in fn.body:
+                self._walk_node(
+                    stmt, model, held, entry, on_acquire, on_call, visiting, depth
+                )
+        finally:
+            visiting.discard(key)
+
+    def _lock_of(self, model: ClassModel, expr: ast.expr) -> LockSite | None:
+        owner, attr = self.resolve_chain(model, expr)
+        if owner is None or attr is None:
+            return None
+        return owner.locks.get(attr)
+
+    def _walk_node(
+        self,
+        node: ast.AST,
+        model: ClassModel,
+        held: tuple[LockSite, ...],
+        entry: str,
+        on_acquire,
+        on_call,
+        visiting: set,
+        depth: int,
+    ) -> None:
+        if isinstance(node, ast.With):
+            inner = held
+            for item in node.items:
+                lock = self._lock_of(model, item.context_expr)
+                if lock is not None:
+                    if on_acquire is not None:
+                        on_acquire(
+                            AcquireEvent(
+                                lock=lock,
+                                held=inner,
+                                source=model.source,
+                                node=item.context_expr,
+                                entry=entry,
+                            )
+                        )
+                    inner = inner + (lock,)
+                else:
+                    self._walk_node(
+                        item.context_expr, model, inner, entry,
+                        on_acquire, on_call, visiting, depth,
+                    )
+            for stmt in node.body:
+                self._walk_node(
+                    stmt, model, inner, entry, on_acquire, on_call, visiting, depth
+                )
+            return
+        if isinstance(node, ast.Call):
+            if on_call is not None and held:
+                on_call(
+                    CallEvent(call=node, held=held, source=model.source, entry=entry)
+                )
+            self._follow_call(
+                node, model, held, entry, on_acquire, on_call, visiting, depth
+            )
+            for child in ast.iter_child_nodes(node):
+                self._walk_node(
+                    child, model, held, entry, on_acquire, on_call, visiting, depth
+                )
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # nested defs run later, not under this region's locks
+            return
+        for child in ast.iter_child_nodes(node):
+            self._walk_node(
+                child, model, held, entry, on_acquire, on_call, visiting, depth
+            )
+
+    def _follow_call(
+        self,
+        call: ast.Call,
+        model: ClassModel,
+        held: tuple[LockSite, ...],
+        entry: str,
+        on_acquire,
+        on_call,
+        visiting: set,
+        depth: int,
+    ) -> None:
+        """Descend into ``self.m()`` / ``self.a.m()`` targets so locks
+        acquired below the call surface still register against the
+        caller's held set. Only followed while locks are held (or to
+        discover acquisitions), bounded by depth and a visiting set."""
+        fn = call.func
+        if not isinstance(fn, ast.Attribute):
+            return
+        owner, method = self.resolve_chain(model, fn)
+        if owner is None or method is None:
+            return
+        if method not in owner.methods:
+            return
+        self._walk_method(
+            owner, method, held, entry, on_acquire, on_call, visiting, depth + 1
+        )
+
+
+def iter_lock_sites(model: LockModel) -> Iterator[LockSite]:
+    for cls in model.classes.values():
+        yield from cls.locks.values()

@@ -1,0 +1,128 @@
+"""*metric-catalogue*: docs/observability.md is the metric-name contract.
+
+The runtime half of this lint already exists
+(``tests/obs/test_catalogue.py`` drives a full workload and checks every
+registered name against the catalogue tables). This pass is the static
+half: it finds every registration site in source —
+``metrics.counter("loader.bytes_read")``,
+``metrics.histogram(f"codec.{name}.decode_seconds")``,
+``bind_gauge``/``bind_counter`` — and checks the name against the same
+backticked first-column entries of the docs tables. F-string
+interpolations become wildcards, as do ``<placeholder>`` segments in the
+docs, and matching is segment-wise on ``.``-separated parts so a
+wildcard on either side matches any one concrete segment.
+
+The runtime test still gates exact coverage; this pass catches the
+common drift (a new literal metric name with no docs row) at lint time,
+without running a workload.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.analysis.core import Finding, LintPass, Project, SourceFile
+
+_REGISTER_METHODS = {
+    "counter",
+    "gauge",
+    "histogram",
+    "bind_counter",
+    "bind_gauge",
+}
+_ROW_RE = re.compile(r"\|\s*`([^`]+)`\s*\|")
+_PLACEHOLDER_RE = re.compile(r"<[a-z_]+>")
+_WILDCARD = "\x00"  # internal marker for "any one segment part"
+
+_DOCS_RELPATH = "docs/observability.md"
+
+
+def _docs_patterns(project: Project) -> list[tuple[str, ...]] | None:
+    docs = project.root / _DOCS_RELPATH
+    if not docs.is_file():
+        return None
+    patterns = []
+    for line in docs.read_text(encoding="utf-8").splitlines():
+        m = _ROW_RE.match(line)
+        if m:
+            patterns.append(_segments(_PLACEHOLDER_RE.sub(_WILDCARD, m.group(1))))
+    return patterns
+
+
+def _segments(name: str) -> tuple[str, ...]:
+    return tuple(name.split("."))
+
+
+def _registered_name(call: ast.Call) -> str | None:
+    """The metric-name pattern a registration call uses, with f-string
+    interpolations collapsed to wildcards; None when the first argument
+    is not a literal (a pass-through variable — the runtime lint owns
+    those)."""
+    fn = call.func
+    if not (isinstance(fn, ast.Attribute) and fn.attr in _REGISTER_METHODS):
+        return None
+    if not call.args:
+        return None
+    arg = call.args[0]
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value
+    if isinstance(arg, ast.JoinedStr):
+        parts = []
+        for piece in arg.values:
+            if isinstance(piece, ast.Constant):
+                parts.append(str(piece.value))
+            else:
+                parts.append(_WILDCARD)
+        return "".join(parts)
+    return None
+
+
+def _seg_match(a: str, b: str) -> bool:
+    if _WILDCARD in a or _WILDCARD in b:
+        # wildcard swallows the whole segment on either side
+        return True
+    return a == b
+
+
+def _matches(name: tuple[str, ...], pattern: tuple[str, ...]) -> bool:
+    if len(name) != len(pattern):
+        return False
+    return all(_seg_match(n, p) for n, p in zip(name, pattern))
+
+
+class MetricCataloguePass(LintPass):
+    rule = "metric-catalogue"
+    title = "every registered metric name appears in docs/observability.md"
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        patterns = _docs_patterns(project)
+        if patterns is None:
+            return []  # no catalogue in this tree (fixture runs)
+        findings: list[Finding] = []
+        for src in project:
+            findings.extend(self._check(src, patterns))
+        return findings
+
+    def _check(
+        self, src: SourceFile, patterns: list[tuple[str, ...]]
+    ) -> list[Finding]:
+        findings = []
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _registered_name(node)
+            if name is None:
+                continue
+            if not any(_matches(_segments(name), p) for p in patterns):
+                shown = name.replace(_WILDCARD, "<...>")
+                findings.append(
+                    self.finding(
+                        src,
+                        node,
+                        f"metric '{shown}' is registered but matches no row "
+                        f"in {_DOCS_RELPATH}; add it to the catalogue",
+                    )
+                )
+        return findings

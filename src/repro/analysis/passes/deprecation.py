@@ -1,0 +1,101 @@
+"""*deprecated-facade*: internal code must not use what we've deprecated.
+
+Two facades survive for external callers but are off-limits inside the
+repo (the DeprecationWarning they emit would otherwise never become a
+removal):
+
+- ``FanStore.stats()`` — superseded by ``FanStore.metrics``;
+- legacy keyword construction ``FanStore(prepared, comm=…, config=…)``
+  — superseded by ``FanStoreOptions``.
+
+The pass flags any zero-argument ``.stats()`` call (except on ``self``,
+so the shim's own definition chain stays clean) and any ``FanStore(…)``
+call carrying a legacy construction keyword. The legacy keyword set is
+kept in sync with ``FanStoreOptions`` dynamically when the class is
+importable, falling back to a pinned copy for standalone lint runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import Finding, LintPass, Project
+
+_FALLBACK_LEGACY_KWARGS = frozenset(
+    {
+        "comm",
+        "config",
+        "local_dir",
+        "backend",
+        "registry",
+        "mount_point",
+        "membership",
+        "rejoin_peer",
+    }
+)
+
+
+def _legacy_kwargs() -> frozenset[str]:
+    try:
+        from repro.fanstore.store import _LEGACY_KWARGS
+
+        return frozenset(_LEGACY_KWARGS)
+    except Exception:
+        return _FALLBACK_LEGACY_KWARGS
+
+
+class DeprecatedFacadePass(LintPass):
+    rule = "deprecated-facade"
+    title = "no internal use of FanStore.stats() or legacy FanStore(**kwargs)"
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        legacy = _legacy_kwargs()
+        findings: list[Finding] = []
+        for src in project:
+            for node in ast.walk(src.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                fn = node.func
+                if (
+                    isinstance(fn, ast.Attribute)
+                    and fn.attr == "stats"
+                    and not node.args
+                    and not node.keywords
+                    and not (
+                        isinstance(fn.value, ast.Name) and fn.value.id == "self"
+                    )
+                ):
+                    findings.append(
+                        self.finding(
+                            src,
+                            node,
+                            "FanStore.stats() is deprecated internally; read "
+                            "FanStore.metrics / the counters it binds",
+                        )
+                    )
+                    continue
+                name = (
+                    fn.id
+                    if isinstance(fn, ast.Name)
+                    else fn.attr if isinstance(fn, ast.Attribute) else None
+                )
+                if name != "FanStore":
+                    continue
+                bad = sorted(
+                    kw.arg
+                    for kw in node.keywords
+                    if kw.arg is not None and kw.arg in legacy
+                )
+                if bad:
+                    findings.append(
+                        self.finding(
+                            src,
+                            node,
+                            "legacy FanStore keyword construction "
+                            f"({', '.join(bad)}) is deprecated; build a "
+                            "FanStoreOptions and pass it as the second "
+                            "argument",
+                        )
+                    )
+        return findings

@@ -1,0 +1,120 @@
+"""*determinism*: seeded-replay modules must replay.
+
+The chaos, corruption, and simnet layers promise that a seed reproduces
+a run bit-for-bit (the CI seed matrices depend on it). Three sources of
+hidden nondeterminism are banned inside those modules:
+
+- the **module-level** ``random`` RNG (``random.random()``,
+  ``random.choice`` …) — shared, unseeded process state; use a
+  ``random.Random(seed)`` instance;
+- wall-clock reads (``time.time``/``time.time_ns``,
+  ``datetime.now``/``utcnow``) — replay timing must come from the
+  injected clock or the event loop;
+- iteration over unordered collections (``for x in {…}`` / ``set(…)``,
+  unsorted ``os.listdir``/``Path.iterdir``) — set order varies with
+  hash randomization, directory order with the filesystem.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.analysis.core import Finding, LintPass, Project, SourceFile
+
+#: modules under the seeded-replay contract
+_SCOPE_RE = re.compile(r"(chaos|corrupt|simnet)")
+
+_SEEDED_FACTORIES = {"Random", "SystemRandom", "seed"}
+
+
+def _in_scope(src: SourceFile) -> bool:
+    return _SCOPE_RE.search(src.display.replace("\\", "/")) is not None
+
+
+class DeterminismPass(LintPass):
+    rule = "determinism"
+    title = "no unseeded RNG, wall clock, or unordered iteration in replay modules"
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for src in project:
+            if not _in_scope(src) or src.parse_error is not None:
+                continue
+            findings.extend(self._check(src))
+        return findings
+
+    def _check(self, src: SourceFile) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Call):
+                fn = node.func
+                if (
+                    isinstance(fn, ast.Attribute)
+                    and isinstance(fn.value, ast.Name)
+                ):
+                    base, attr = fn.value.id, fn.attr
+                    if base == "random" and attr not in _SEEDED_FACTORIES:
+                        findings.append(
+                            self.finding(
+                                src,
+                                node,
+                                f"random.{attr}() uses the shared unseeded "
+                                "module RNG; draw from a "
+                                "random.Random(seed) instance",
+                            )
+                        )
+                    elif base == "time" and attr in ("time", "time_ns"):
+                        findings.append(
+                            self.finding(
+                                src,
+                                node,
+                                f"time.{attr}() reads the wall clock in a "
+                                "seeded-replay module; use the injected "
+                                "clock",
+                            )
+                        )
+                    elif base == "datetime" and attr in ("now", "utcnow"):
+                        findings.append(
+                            self.finding(
+                                src,
+                                node,
+                                f"datetime.{attr}() reads the wall clock in "
+                                "a seeded-replay module",
+                            )
+                        )
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                it = node.iter
+                what = self._unordered(it)
+                if what is not None:
+                    line = getattr(it, "lineno", getattr(node, "lineno", 1))
+                    findings.append(
+                        self.finding(
+                            src,
+                            line,
+                            f"iterates {what} whose order is "
+                            "nondeterministic; wrap in sorted()",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _unordered(it: ast.expr) -> str | None:
+        if isinstance(it, ast.Set):
+            return "a set literal"
+        if not isinstance(it, ast.Call):
+            return None
+        fn = it.func
+        if isinstance(fn, ast.Name) and fn.id == "set":
+            return "set(...)"
+        if isinstance(fn, ast.Attribute):
+            if fn.attr == "iterdir":
+                return ".iterdir()"
+            if (
+                fn.attr == "listdir"
+                and isinstance(fn.value, ast.Name)
+                and fn.value.id == "os"
+            ):
+                return "os.listdir(...)"
+        return None

@@ -1,0 +1,191 @@
+"""*error-conventions*: the POSIX-emulation contract at the VFS edge.
+
+The client is a drop-in for ``os.open``/``pread``/``lseek`` consumers,
+so an exception escaping it must behave like the one the real syscall
+would raise: an ``OSError`` subclass whose ``errno`` and ``filename``
+are populated (``DataIntegrityError`` is the model). Two checks:
+
+1. every project exception class that *is* OSError-family must define
+   (or inherit from a project ancestor) an ``__init__`` that assigns
+   both ``self.errno`` and ``self.filename`` — default construction
+   with a bare message leaves ``errno`` as ``None`` and breaks callers
+   that switch on it;
+2. ``raise`` statements in the VFS-boundary module
+   (``fanstore/client.py``) may only construct OSError-family
+   exceptions — a bare ``FanStoreError`` or ``ValueError`` surfacing
+   through ``pread`` has no errno for the caller to map.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import Finding, LintPass, Project, SourceFile
+
+OSERROR_BUILTINS = {
+    "OSError",
+    "IOError",
+    "EnvironmentError",
+    "BlockingIOError",
+    "BrokenPipeError",
+    "ChildProcessError",
+    "ConnectionError",
+    "ConnectionAbortedError",
+    "ConnectionRefusedError",
+    "ConnectionResetError",
+    "FileExistsError",
+    "FileNotFoundError",
+    "InterruptedError",
+    "IsADirectoryError",
+    "NotADirectoryError",
+    "PermissionError",
+    "ProcessLookupError",
+    "TimeoutError",
+}
+
+NON_OSERROR_BUILTINS = {
+    "Exception",
+    "BaseException",
+    "ValueError",
+    "TypeError",
+    "KeyError",
+    "IndexError",
+    "LookupError",
+    "AttributeError",
+    "RuntimeError",
+    "NotImplementedError",
+    "StopIteration",
+    "ArithmeticError",
+    "ZeroDivisionError",
+    "AssertionError",
+}
+
+_BOUNDARY_SUFFIX = "fanstore/client.py"
+
+
+def _base_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class _Hierarchy:
+    """Project-wide exception class graph."""
+
+    def __init__(self, project: Project) -> None:
+        self.defs: dict[str, tuple[SourceFile, ast.ClassDef]] = {}
+        self.bases: dict[str, list[str]] = {}
+        for src in project:
+            for node in ast.walk(src.tree):
+                if isinstance(node, ast.ClassDef):
+                    self.defs.setdefault(node.name, (src, node))
+                    self.bases.setdefault(
+                        node.name,
+                        [b for b in map(_base_name, node.bases) if b],
+                    )
+        self._os_family: dict[str, bool] = {}
+
+    def is_os_family(self, name: str, _seen: frozenset = frozenset()) -> bool:
+        if name in self._os_family:
+            return self._os_family[name]
+        if name in OSERROR_BUILTINS:
+            return True
+        if name in _seen or name not in self.bases:
+            return False
+        result = any(
+            self.is_os_family(b, _seen | {name}) for b in self.bases[name]
+        )
+        self._os_family[name] = result
+        return result
+
+    def init_sets_errno_filename(
+        self, name: str, _seen: frozenset = frozenset()
+    ) -> bool:
+        """Does this class (or a project ancestor) define an __init__
+        assigning both self.errno and self.filename?"""
+        if name in _seen or name not in self.defs:
+            return False
+        _src, node = self.defs[name]
+        for item in node.body:
+            if isinstance(item, ast.FunctionDef) and item.name == "__init__":
+                assigned = set()
+                for sub in ast.walk(item):
+                    if (
+                        isinstance(sub, (ast.Assign, ast.AnnAssign))
+                    ):
+                        targets = (
+                            sub.targets
+                            if isinstance(sub, ast.Assign)
+                            else [sub.target]
+                        )
+                        for t in targets:
+                            if (
+                                isinstance(t, ast.Attribute)
+                                and isinstance(t.value, ast.Name)
+                                and t.value.id == "self"
+                            ):
+                                assigned.add(t.attr)
+                return {"errno", "filename"} <= assigned
+        return any(
+            self.init_sets_errno_filename(b, _seen | {name})
+            for b in self.bases.get(name, [])
+        )
+
+
+class ErrorConventionsPass(LintPass):
+    rule = "error-conventions"
+    title = "VFS-boundary exceptions carry errno + filename"
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        hier = _Hierarchy(project)
+        findings: list[Finding] = []
+
+        # 1: definition side
+        for name, (src, node) in sorted(hier.defs.items()):
+            if not hier.is_os_family(name):
+                continue
+            if not hier.init_sets_errno_filename(name):
+                findings.append(
+                    self.finding(
+                        src,
+                        node,
+                        f"{name} is OSError-family but no __init__ in its "
+                        "project hierarchy sets self.errno and "
+                        "self.filename; default construction leaves errno "
+                        "None at the VFS boundary",
+                    )
+                )
+
+        # 2: raise side, boundary module only
+        for src in project:
+            display = src.display.replace("\\", "/")
+            if not display.endswith(_BOUNDARY_SUFFIX):
+                continue
+            for node in ast.walk(src.tree):
+                if not isinstance(node, ast.Raise) or node.exc is None:
+                    continue
+                ctor = node.exc
+                if isinstance(ctor, ast.Call):
+                    ctor = ctor.func
+                name = _base_name(ctor)
+                if name is None:
+                    continue
+                if isinstance(node.exc, ast.Name):
+                    continue  # re-raise of a caught instance
+                if hier.is_os_family(name):
+                    continue
+                if name in hier.defs or name in NON_OSERROR_BUILTINS:
+                    findings.append(
+                        self.finding(
+                            src,
+                            node,
+                            f"raises {name} across the VFS boundary; the "
+                            "POSIX-emulation contract requires an "
+                            "OSError-family exception carrying errno + "
+                            "filename",
+                        )
+                    )
+        return findings

@@ -1,0 +1,161 @@
+"""*lock-order*: the static half of the lockdep story.
+
+Builds the project-wide lock-acquisition graph (an edge ``A → B`` means
+some path acquires lock ``B`` while holding ``A``) from ``with
+self._lock:`` regions and the call chains underneath them, then flags:
+
+- any cycle in that graph (two code paths taking the same pair of locks
+  in opposite orders can deadlock), and
+- re-acquisition of a non-reentrant ``threading.Lock`` already held on
+  the same path (guaranteed self-deadlock).
+
+RLock/Condition self-edges are reentrant by construction and are not
+reported; cross-lock cycles are reported regardless of kind.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import Finding, LintPass, Project
+from repro.analysis.locks import AcquireEvent, LockModel
+
+
+class LockOrderPass(LintPass):
+    rule = "lock-order"
+    title = "lock-acquisition graph must stay acyclic"
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        model = LockModel(project)
+        findings: list[Finding] = []
+        # representative acquisition event per directed edge
+        edges: dict[tuple[str, str], AcquireEvent] = {}
+        self_edges: dict[tuple[str, int], AcquireEvent] = {}
+
+        def on_acquire(ev: AcquireEvent) -> None:
+            for held in ev.held:
+                if held.key == ev.lock.key:
+                    if ev.lock.kind == "Lock":
+                        line = getattr(ev.node, "lineno", 1)
+                        self_edges.setdefault((ev.source.display, line), ev)
+                else:
+                    edges.setdefault((held.key, ev.lock.key), ev)
+
+        model.walk_all(on_acquire=on_acquire)
+
+        for (path, line), ev in sorted(self_edges.items()):
+            findings.append(
+                Finding(
+                    rule=self.rule,
+                    path=path,
+                    line=line,
+                    message=(
+                        f"re-acquires non-reentrant {ev.lock.key} already "
+                        f"held on this path (entered via {ev.entry}); "
+                        "threading.Lock self-deadlocks"
+                    ),
+                )
+            )
+
+        for cycle in _cycles({k for k in edges}):
+            members = set(cycle)
+            # anchor the report on some edge inside the cycle
+            first = next(
+                ev
+                for (a, b), ev in sorted(edges.items())
+                if a in members and b in members
+            )
+            chain = " -> ".join(cycle + (cycle[0],))
+            findings.append(
+                Finding(
+                    rule=self.rule,
+                    path=first.source.display,
+                    line=getattr(first.node, "lineno", 1),
+                    message=(
+                        f"lock-order cycle {chain}; this acquisition "
+                        f"(via {first.entry}) closes it"
+                    ),
+                )
+            )
+        return findings
+
+
+def _cycles(edge_set: set[tuple[str, str]]) -> list[tuple[str, ...]]:
+    """Elementary cycles of the edge set, one canonical tuple per
+    strongly connected component (enough for reporting: any SCC with an
+    internal edge back to its start is a deadlock candidate)."""
+    graph: dict[str, set[str]] = {}
+    for a, b in edge_set:
+        graph.setdefault(a, set()).add(b)
+        graph.setdefault(b, set())
+
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = [0]
+
+    def strongconnect(v: str) -> None:
+        # iterative Tarjan to stay safe on deep graphs
+        work = [(v, iter(sorted(graph[v])))]
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(graph[w]))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[node] = min(low[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == node:
+                        break
+                sccs.append(comp)
+
+    for v in sorted(graph):
+        if v not in index:
+            strongconnect(v)
+
+    cycles: list[tuple[str, ...]] = []
+    for comp in sccs:
+        if len(comp) < 2:
+            continue
+        members = set(comp)
+        # order the component along its edges for a readable chain
+        start = min(comp)
+        ordered = [start]
+        seen = {start}
+        cur = start
+        while True:
+            nxt = sorted(
+                n for n in graph[cur] if n in members and n not in seen
+            )
+            if not nxt:
+                break
+            cur = nxt[0]
+            ordered.append(cur)
+            seen.add(cur)
+        cycles.append(tuple(ordered))
+    return cycles

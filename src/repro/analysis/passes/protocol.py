@@ -1,0 +1,300 @@
+"""*protocol-conformance*: the wire protocol's three invariants.
+
+FanStore's request/reply protocol is convention, not schema: requests
+are ``(kind, body)`` tuples on a well-known tag (``TAG_DAEMON``,
+``TAG_MEMBER``), dispatched by string-matching ``kind`` in a serve
+loop, and — since request tracing landed — bodies come in a legacy
+2-tuple ``(subject, reply_tag)`` and a traced 3-tuple ``(subject,
+reply_tag, trace_ctx)`` form. This pass recovers the protocol from the
+AST and checks:
+
+1. every ``kind`` emitted on a tag has a matching dispatch arm in that
+   tag's serve loop (an unhandled kind hangs the sender forever — the
+   reply never comes);
+2. the serve loop unpacks the request body with a starred target, so
+   both the 2- and 3-tuple arities parse;
+3. every wire body the request helper builds is exactly the 2- or
+   3-tuple form, and both forms exist (a codebase that only ever builds
+   one form has silently dropped legacy or traced support).
+
+Recognised idioms: a *dispatcher* is any method that calls
+``recv``/``try_recv`` with a ``TAG_<NAME>`` constant; its handled kinds
+are the string literals compared against a name inside it. A *request
+helper* is a method that sends ``(param, ...)`` on a tag, where
+``param`` is one of its own parameters — calls to it with a literal
+first argument emit that literal as a kind.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.analysis.core import Finding, LintPass, Project, SourceFile
+
+_TAG_RE = re.compile(r"^TAG_[A-Z_0-9]+$")
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _tag_of(node: ast.expr) -> str | None:
+    name = _terminal_name(node)
+    if name is not None and _TAG_RE.match(name):
+        return name
+    return None
+
+
+def _recv_tag(call: ast.Call) -> str | None:
+    """The TAG_* constant a ``recv``/``try_recv`` call listens on."""
+    fn = call.func
+    if not (isinstance(fn, ast.Attribute) and fn.attr in ("recv", "try_recv")):
+        return None
+    for arg in call.args[1:2]:  # (source, tag, ...)
+        return _tag_of(arg)
+    return None
+
+
+def _send_parts(call: ast.Call) -> tuple[ast.expr, str] | None:
+    """For ``x.send(payload, dest, TAG_*)``: (payload, tag name)."""
+    fn = call.func
+    if not (isinstance(fn, ast.Attribute) and fn.attr == "send"):
+        return None
+    if len(call.args) < 3:
+        return None
+    tag = _tag_of(call.args[2])
+    if tag is None:
+        return None
+    return call.args[0], tag
+
+
+class _MethodInfo:
+    def __init__(self, cls: str, node: ast.FunctionDef) -> None:
+        self.cls = cls
+        self.node = node
+        self.params = {
+            a.arg for a in list(node.args.args) + list(node.args.kwonlyargs)
+        }
+
+
+def _methods(tree: ast.Module) -> list[_MethodInfo]:
+    out = []
+    for cls in ast.walk(tree):
+        if isinstance(cls, ast.ClassDef):
+            for item in cls.body:
+                if isinstance(item, ast.FunctionDef):
+                    out.append(_MethodInfo(cls.name, item))
+    return out
+
+
+class ProtocolConformancePass(LintPass):
+    rule = "protocol-conformance"
+    title = "every emitted kind has a dispatch arm; body arity is 2 or 3"
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for src in project:
+            if src.parse_error is not None:
+                continue
+            findings.extend(self._check_file(src))
+        return findings
+
+    def _check_file(self, src: SourceFile) -> list[Finding]:
+        methods = _methods(src.tree)
+        dispatchers: dict[str, _MethodInfo] = {}
+        for m in methods:
+            for node in ast.walk(m.node):
+                if isinstance(node, ast.Call):
+                    tag = _recv_tag(node)
+                    if tag is not None:
+                        dispatchers.setdefault(tag, m)
+
+        # kind-forwarding request helpers: method sends (own param, ...) on a tag
+        helpers: dict[str, str] = {}  # method name -> tag
+        for m in methods:
+            for node in ast.walk(m.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                parts = _send_parts(node)
+                if parts is None:
+                    continue
+                payload, tag = parts
+                if (
+                    isinstance(payload, ast.Tuple)
+                    and payload.elts
+                    and isinstance(payload.elts[0], ast.Name)
+                    and payload.elts[0].id in m.params
+                ):
+                    helpers.setdefault(m.node.name, tag)
+
+        # emitted kinds: direct literal sends + literal calls to helpers
+        emitted: dict[str, list[tuple[str, int]]] = {}
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            parts = _send_parts(node)
+            if parts is not None:
+                payload, tag = parts
+                if (
+                    isinstance(payload, ast.Tuple)
+                    and payload.elts
+                    and isinstance(payload.elts[0], ast.Constant)
+                    and isinstance(payload.elts[0].value, str)
+                ):
+                    emitted.setdefault(tag, []).append(
+                        (payload.elts[0].value, node.lineno)
+                    )
+                continue
+            fn = node.func
+            if (
+                isinstance(fn, ast.Attribute)
+                and fn.attr in helpers
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                emitted.setdefault(helpers[fn.attr], []).append(
+                    (node.args[0].value, node.lineno)
+                )
+
+        findings: list[Finding] = []
+
+        # 1. every emitted kind must have a dispatch arm
+        for tag, kinds in sorted(emitted.items()):
+            dispatcher = dispatchers.get(tag)
+            if dispatcher is None:
+                continue  # replies / tags consumed without kind dispatch
+            handled = self._handled_kinds(dispatcher.node)
+            if not handled:
+                continue  # receive loop without string dispatch
+            for kind, lineno in kinds:
+                if kind not in handled:
+                    findings.append(
+                        self.finding(
+                            src,
+                            lineno,
+                            f"kind '{kind}' emitted on {tag} has no arm in "
+                            f"{dispatcher.cls}.{dispatcher.node.name} "
+                            f"(handles: {', '.join(sorted(handled))}); the "
+                            "sender would wait forever",
+                        )
+                    )
+
+        # 2. dispatcher body unpack must be variable-arity
+        for tag, dispatcher in sorted(dispatchers.items()):
+            if tag not in emitted:
+                continue
+            findings.extend(self._check_unpack(src, dispatcher))
+
+        # 3. request helpers must build exactly the 2-/3-tuple forms
+        for m in methods:
+            if m.node.name in helpers:
+                findings.extend(self._check_wire_arity(src, m))
+        return findings
+
+    @staticmethod
+    def _handled_kinds(fn: ast.FunctionDef) -> set[str]:
+        handled: set[str] = set()
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not isinstance(node.left, ast.Name):
+                continue
+            for op, comp in zip(node.ops, node.comparators):
+                if isinstance(op, (ast.Eq, ast.NotEq)):
+                    if isinstance(comp, ast.Constant) and isinstance(
+                        comp.value, str
+                    ):
+                        handled.add(comp.value)
+                elif isinstance(op, (ast.In, ast.NotIn)):
+                    if isinstance(comp, (ast.Tuple, ast.List, ast.Set)):
+                        for elt in comp.elts:
+                            if isinstance(elt, ast.Constant) and isinstance(
+                                elt.value, str
+                            ):
+                                handled.add(elt.value)
+        return handled
+
+    def _check_unpack(
+        self, src: SourceFile, dispatcher: _MethodInfo
+    ) -> list[Finding]:
+        """Tuple-unpacks of a request body inside the dispatcher must
+        carry a starred target (variable arity)."""
+        findings = []
+        for node in ast.walk(dispatcher.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not (
+                isinstance(node.value, ast.Name)
+                and node.value.id in ("body", "payload_body")
+            ):
+                continue
+            for target in node.targets:
+                if isinstance(target, (ast.Tuple, ast.List)):
+                    if not any(
+                        isinstance(e, ast.Starred) for e in target.elts
+                    ):
+                        findings.append(
+                            self.finding(
+                                src,
+                                node.lineno,
+                                f"{dispatcher.cls}.{dispatcher.node.name} "
+                                "unpacks the request body with fixed arity; "
+                                "use a starred target so legacy 2-tuple and "
+                                "traced 3-tuple bodies both parse",
+                            )
+                        )
+        return findings
+
+    def _check_wire_arity(
+        self, src: SourceFile, helper: _MethodInfo
+    ) -> list[Finding]:
+        findings = []
+        arities: set[int] = set()
+        first_line = helper.node.lineno
+        for node in ast.walk(helper.node):
+            if not isinstance(node, ast.Tuple):
+                continue
+            if not any(
+                isinstance(e, ast.Name) and e.id.endswith("reply_tag")
+                for e in node.elts
+            ):
+                continue
+            arities.add(len(node.elts))
+            if len(node.elts) not in (2, 3):
+                findings.append(
+                    self.finding(
+                        src,
+                        node.lineno,
+                        f"wire body built with {len(node.elts)} fields; the "
+                        "protocol defines only (subject, reply_tag) and "
+                        "(subject, reply_tag, trace_ctx)",
+                    )
+                )
+        if arities and arities.isdisjoint({3}):
+            findings.append(
+                self.finding(
+                    src,
+                    first_line,
+                    f"{helper.cls}.{helper.node.name} only builds the legacy "
+                    "2-tuple body; the traced 3-tuple form is part of the "
+                    "protocol",
+                )
+            )
+        if arities and arities.isdisjoint({2}):
+            findings.append(
+                self.finding(
+                    src,
+                    first_line,
+                    f"{helper.cls}.{helper.node.name} only builds the traced "
+                    "3-tuple body; legacy 2-tuple senders must stay "
+                    "supported",
+                )
+            )
+        return findings

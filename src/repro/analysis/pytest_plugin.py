@@ -1,0 +1,57 @@
+"""Pytest plugin that runs the whole suite under the lockdep witness.
+
+Loaded from the repo-root ``conftest.py`` (``pytest_plugins``), so every
+tier-1 run — including the 3-rank chaos/membership seed matrices —
+doubles as a lock-order drill. Default-on; set ``FANSTORE_LOCKDEP=0``
+to opt out (e.g. when bisecting an unrelated failure).
+
+Any cycle observed by the witness fails the run: the report (with both
+directions' witness stacks) is printed in the terminal summary and the
+session exit status is forced non-zero, mirroring how the kernel's
+lockdep turns a latent inversion into a hard failure long before the
+deadlock fires.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.lockdep import LockdepWitness
+
+_witness: LockdepWitness | None = None
+
+
+def _enabled() -> bool:
+    return os.environ.get("FANSTORE_LOCKDEP", "1") not in ("0", "off", "no")
+
+
+def pytest_configure(config) -> None:
+    global _witness
+    if not _enabled():
+        return
+    _witness = LockdepWitness()
+    _witness.install()
+    config._fanstore_lockdep = _witness
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    if _witness is not None and _witness.cycles and exitstatus == 0:
+        # wrap_session returns session.exitstatus, so this fails the run
+        session.exitstatus = 1
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
+    if _witness is None:
+        return
+    if _witness.cycles:
+        terminalreporter.section("lockdep", sep="=", red=True)
+        terminalreporter.write_line(_witness.report())
+    else:
+        terminalreporter.write_line(_witness.report())
+
+
+def pytest_unconfigure(config) -> None:
+    global _witness
+    if _witness is not None:
+        _witness.uninstall()
+        _witness = None

@@ -48,16 +48,53 @@ class DataIntegrityError(FanStoreError, OSError):
 
 
 class FileNotFoundInStoreError(FanStoreError, FileNotFoundError):
-    """The requested path does not exist in the FanStore namespace."""
+    """The requested path does not exist in the FanStore namespace
+    (``errno`` is ENOENT, ``filename`` names the path)."""
+
+    def __init__(self, path: str) -> None:
+        import errno as _errno
+
+        super().__init__(path)
+        self.errno = _errno.ENOENT
+        self.filename = path
 
 
 class WriteViolationError(FanStoreError, PermissionError):
     """The multi-read single-write model was violated (e.g. reopening a
-    closed output file for writing, or two writers on one path)."""
+    closed output file for writing, or two writers on one path);
+    ``errno`` is EACCES, ``filename`` names the path when known."""
+
+    def __init__(self, detail: str, path: str | None = None) -> None:
+        import errno as _errno
+
+        super().__init__(detail)
+        self.errno = _errno.EACCES
+        self.filename = path
 
 
 class BadFileDescriptorError(FanStoreError, OSError):
-    """Operation on a file descriptor that is not open."""
+    """Operation on a file descriptor that is not open (``errno`` is
+    EBADF; ``filename`` names the path when the fd resolved to one)."""
+
+    def __init__(self, detail: str, path: str | None = None) -> None:
+        import errno as _errno
+
+        super().__init__(detail)
+        self.errno = _errno.EBADF
+        self.filename = path
+
+
+class InvalidArgumentError(FanStoreError, OSError):
+    """A POSIX-surface call was driven with an invalid argument
+    (negative pread offset, unknown whence, unsupported mode); the
+    EINVAL of the store."""
+
+    def __init__(self, detail: str, path: str | None = None) -> None:
+        import errno as _errno
+
+        super().__init__(detail)
+        self.errno = _errno.EINVAL
+        self.filename = path
 
 
 class CapacityError(FanStoreError):
@@ -90,7 +127,17 @@ class RankDeadError(CommError, RuntimeError):
 
 class RetryExhaustedError(CommError, TimeoutError):
     """A request/reply exchange failed every attempt of its bounded
-    retry budget (and, for reads, every failover tier)."""
+    retry budget (and, for reads, every failover tier). TimeoutError is
+    OSError-family, so the POSIX contract applies: ``errno`` is
+    ETIMEDOUT and ``filename`` names the subject path when there is
+    one."""
+
+    def __init__(self, detail: str, path: str | None = None) -> None:
+        import errno as _errno
+
+        super().__init__(detail)
+        self.errno = _errno.ETIMEDOUT
+        self.filename = path
 
 
 class SelectionError(ReproError):

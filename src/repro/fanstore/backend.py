@@ -85,10 +85,19 @@ class PartitionBackend:
             self._overlay[path] = data
 
     def _handle(self, partition_file: Path):
-        handle = self._handles.get(partition_file)
-        if handle is None:
-            handle = open(partition_file, "rb")
-            self._handles[partition_file] = handle
+        """Cached read handle for a partition file. The cold open(2)
+        happens outside the lock — an open on a slow disk must not
+        stall every other reader; a lost insert race closes the spare
+        handle."""
+        with self._lock:
+            handle = self._handles.get(partition_file)
+        if handle is not None:
+            return handle
+        fresh = open(partition_file, "rb")
+        with self._lock:
+            handle = self._handles.setdefault(partition_file, fresh)
+        if handle is not fresh:
+            fresh.close()
         return handle
 
     def get(self, path: str) -> bytes:
@@ -99,7 +108,7 @@ class PartitionBackend:
             if entry is None:
                 raise FileNotFoundInStoreError(path)
             partition_file, offset, size = entry
-            handle = self._handle(partition_file)
+        handle = self._handle(partition_file)
         data = os.pread(handle.fileno(), size, offset)
         if len(data) != size:
             # the entry is indexed but its bytes are gone: a truncated

@@ -24,8 +24,8 @@ from dataclasses import dataclass
 
 from repro.errors import (
     BadFileDescriptorError,
-    FanStoreError,
     FileNotFoundInStoreError,
+    InvalidArgumentError,
     WriteViolationError,
 )
 from repro.fanstore.daemon import FanStoreDaemon
@@ -72,7 +72,9 @@ class _DirHandle:
     def readdir(self) -> str | None:
         """Next entry name, or None at end-of-directory."""
         if self.closed:
-            raise FanStoreError("readdir on closed directory stream")
+            raise BadFileDescriptorError(
+                "readdir on closed directory stream", path=self.path
+            )
         if self._pos >= len(self._names):
             return None
         name = self._names[self._pos]
@@ -109,7 +111,8 @@ class FanStoreClient:
         accmode = flags & _ACCMODE
         if accmode == O_RDWR:
             raise WriteViolationError(
-                "FanStore's multi-read single-write model has no O_RDWR"
+                "FanStore's multi-read single-write model has no O_RDWR",
+                path=norm,
             )
         if accmode == O_WRONLY:
             return self._open_writer(norm, flags, mode)
@@ -119,7 +122,7 @@ class FanStoreClient:
         with self._lock:
             if path in self._writing:
                 raise WriteViolationError(
-                    f"{path}: still open for writing"
+                    f"{path}: still open for writing", path=path
                 )
         data = self.daemon.open_file(path)  # raises if absent
         with self._lock:
@@ -133,20 +136,22 @@ class FanStoreClient:
     def _open_writer(self, path: str, flags: int, mode: int) -> int:
         if not flags & O_CREAT:
             raise WriteViolationError(
-                f"{path}: output files must be created (O_CREAT)"
+                f"{path}: output files must be created (O_CREAT)", path=path
             )
         with self._lock:
             if path in self._sealed:
                 raise WriteViolationError(
-                    f"{path}: already written and sealed (single-write model)"
+                    f"{path}: already written and sealed (single-write model)",
+                    path=path,
                 )
             if path in self._writing:
                 raise WriteViolationError(
-                    f"{path}: another descriptor is writing it"
+                    f"{path}: another descriptor is writing it", path=path
                 )
             if self.daemon.metadata.is_file(path):
                 raise WriteViolationError(
-                    f"{path}: exists in the packaged dataset (read-only)"
+                    f"{path}: exists in the packaged dataset (read-only)",
+                    path=path,
                 )
             self._writing.add(path)
             fd = self._next_fd
@@ -235,7 +240,9 @@ class FanStoreClient:
         """``read(2)`` from the cache region (Figure 3); advances offset."""
         state = self._state(fd)
         if state.writable:
-            raise BadFileDescriptorError(f"fd {fd} is write-only")
+            raise BadFileDescriptorError(
+                f"fd {fd} is write-only", path=state.path
+            )
         assert state.data is not None
         if size < 0:
             size = len(state.data) - state.offset
@@ -247,10 +254,14 @@ class FanStoreClient:
         """Positional read; does not move the descriptor offset."""
         state = self._state(fd)
         if state.writable:
-            raise BadFileDescriptorError(f"fd {fd} is write-only")
+            raise BadFileDescriptorError(
+                f"fd {fd} is write-only", path=state.path
+            )
         assert state.data is not None
         if offset < 0:
-            raise FanStoreError(f"negative pread offset {offset}")
+            raise InvalidArgumentError(
+                f"negative pread offset {offset}", path=state.path
+            )
         return state.data[offset : offset + size]
 
     def lseek(self, fd: int, offset: int, whence: int = os.SEEK_SET) -> int:
@@ -267,9 +278,13 @@ class FanStoreClient:
         elif whence == os.SEEK_END:
             new = base_len + offset
         else:
-            raise FanStoreError(f"bad whence {whence}")
+            raise InvalidArgumentError(
+                f"bad whence {whence}", path=state.path
+            )
         if new < 0:
-            raise FanStoreError(f"seek before start ({new})")
+            raise InvalidArgumentError(
+                f"seek before start ({new})", path=state.path
+            )
         state.offset = new
         if state.writable:
             state.buffer.seek(new)  # type: ignore[union-attr]
@@ -279,7 +294,9 @@ class FanStoreClient:
         """``write(2)`` into the output buffer; returns bytes written."""
         state = self._state(fd)
         if not state.writable:
-            raise BadFileDescriptorError(f"fd {fd} is read-only")
+            raise BadFileDescriptorError(
+                f"fd {fd} is read-only", path=state.path
+            )
         assert state.buffer is not None
         written = state.buffer.write(data)
         state.offset = state.buffer.tell()
@@ -348,7 +365,9 @@ class FanStoreClient:
         elif mode in ("wb", "w", "xb", "x"):
             fd = self.open(path, O_WRONLY | O_CREAT)
         else:
-            raise FanStoreError(f"unsupported mode {mode!r}")
+            raise InvalidArgumentError(
+                f"unsupported mode {mode!r}", path=path
+            )
         text = "b" not in mode
         return FanStoreFile(self, fd, path, text=text)
 

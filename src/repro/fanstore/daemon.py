@@ -714,7 +714,8 @@ class FanStoreDaemon:
         raise RetryExhaustedError(
             f"rank {self.rank}: {kind} request to rank {dest} "
             f"(tag {TAG_DAEMON:#x}, last reply tag {reply_tag:#x}) failed "
-            f"after {attempts} attempt(s): {last_exc}"
+            f"after {attempts} attempt(s): {last_exc}",
+            path=body if isinstance(body, str) else None,
         ) from last_exc
 
     def _lookup(self, norm: str) -> FileRecord:
@@ -793,7 +794,8 @@ class FanStoreDaemon:
                 raise RetryExhaustedError(
                     f"rank {self.rank}: fetch of {norm} skipped dead home "
                     f"rank {record.home_rank} (tag {TAG_DAEMON:#x}) and no "
-                    "replica or shared-FS copy answered"
+                    "replica or shared-FS copy answered",
+                    path=norm,
                 )
             return data
         try:

@@ -1,0 +1,29 @@
+"""Fixture helpers for the lint/lockdep suite: write snippet trees and
+lint them in isolation."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.core import LintReport, run_lint
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write ``{relpath: source}`` files under a scratch root and lint
+    them with the full pass registry rooted there."""
+
+    def _run(files: dict[str, str], rules=None) -> LintReport:
+        for rel, text in files.items():
+            dest = tmp_path / rel
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            dest.write_text(text, encoding="utf-8")
+        return run_lint([tmp_path], root=tmp_path, rules=rules)
+
+    return _run
+
+
+def rules_of(report: LintReport, rule: str):
+    return [f for f in report.findings if f.rule == rule]

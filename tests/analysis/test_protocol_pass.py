@@ -1,0 +1,116 @@
+"""protocol-conformance on fixture daemons: unhandled kinds, body
+arity, wire-form coverage."""
+
+from __future__ import annotations
+
+import textwrap
+
+from tests.analysis.conftest import rules_of
+
+CONFORMING = textwrap.dedent(
+    """
+    TAG_DAEMON = 0x0FA0
+
+    class Daemon:
+        def _serve(self):
+            while True:
+                kind, body = self.comm.recv(-1, TAG_DAEMON)
+                if kind == "stop":
+                    break
+                if kind not in ("fetch", "stat"):
+                    continue
+                subject, reply_tag, *rest = body
+                if len(rest) > 1:
+                    continue
+
+        def _request(self, kind, body, dest):
+            reply_tag = self._next_tag()
+            ctx = self.tracer.current_context()
+            wire_body = (
+                (body, reply_tag) if ctx is None
+                else (body, reply_tag, ctx.as_wire())
+            )
+            self.comm.send((kind, wire_body), dest, TAG_DAEMON)
+            return self.comm.recv(dest, reply_tag)
+
+        def fetch(self, path):
+            return self._request("fetch", path, 0)
+
+        def stop(self):
+            self.comm.send(("stop", None), 0, TAG_DAEMON)
+    """
+)
+
+
+class TestProtocolConformance:
+    def test_conforming_daemon_is_clean(self, lint_tree):
+        report = lint_tree({"fanstore/daemon.py": CONFORMING})
+        assert not rules_of(report, "protocol-conformance"), report.summary()
+
+    def test_unhandled_kind_via_helper_flagged(self, lint_tree):
+        src = CONFORMING + textwrap.dedent(
+            """
+            class Client:
+                def evict(self, daemon, path):
+                    return daemon._request("evict", path, 0)
+            """
+        )
+        report = lint_tree({"fanstore/daemon.py": src})
+        findings = rules_of(report, "protocol-conformance")
+        assert len(findings) == 1
+        assert "'evict'" in findings[0].message
+        assert "wait forever" in findings[0].message
+
+    def test_unhandled_kind_via_direct_send_flagged(self, lint_tree):
+        src = CONFORMING.replace(
+            'self.comm.send(("stop", None), 0, TAG_DAEMON)',
+            'self.comm.send(("halt", None), 0, TAG_DAEMON)',
+        )
+        report = lint_tree({"fanstore/daemon.py": src})
+        findings = rules_of(report, "protocol-conformance")
+        assert len(findings) == 1 and "'halt'" in findings[0].message
+
+    def test_fixed_arity_unpack_flagged(self, lint_tree):
+        src = CONFORMING.replace(
+            "subject, reply_tag, *rest = body",
+            "subject, reply_tag = body",
+        ).replace("if len(rest) > 1:", "if reply_tag < 0:")
+        report = lint_tree({"fanstore/daemon.py": src})
+        findings = rules_of(report, "protocol-conformance")
+        assert len(findings) == 1
+        assert "fixed arity" in findings[0].message
+
+    def test_oversized_wire_body_flagged(self, lint_tree):
+        src = CONFORMING.replace(
+            "else (body, reply_tag, ctx.as_wire())",
+            "else (body, reply_tag, ctx.as_wire(), self.rank)",
+        )
+        report = lint_tree({"fanstore/daemon.py": src})
+        messages = [f.message for f in rules_of(report, "protocol-conformance")]
+        # the 4-tuple is flagged, and with it the traced 3-tuple is missing
+        assert len(messages) == 2
+        assert any("4 fields" in m for m in messages)
+        assert any("traced 3-tuple" in m for m in messages)
+
+    def test_missing_traced_form_flagged(self, lint_tree):
+        src = CONFORMING.replace(
+            "else (body, reply_tag, ctx.as_wire())",
+            "else (body, reply_tag)",
+        )
+        report = lint_tree({"fanstore/daemon.py": src})
+        findings = rules_of(report, "protocol-conformance")
+        assert len(findings) == 1
+        assert "traced 3-tuple" in findings[0].message
+
+    def test_waiver_applies(self, lint_tree):
+        src = CONFORMING + textwrap.dedent(
+            """
+            class Client:
+                def evict(self, daemon, path):
+                    # lint: allow[protocol-conformance] arm lands in the next PR
+                    return daemon._request("evict", path, 0)
+            """
+        )
+        report = lint_tree({"fanstore/daemon.py": src})
+        findings = rules_of(report, "protocol-conformance")
+        assert findings and findings[0].waived
