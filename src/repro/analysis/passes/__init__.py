@@ -10,6 +10,7 @@ from __future__ import annotations
 from repro.analysis.core import LintPass
 from repro.analysis.passes.blocking import BlockingUnderLockPass
 from repro.analysis.passes.catalogue import MetricCataloguePass
+from repro.analysis.passes.deadline import DeadlinePropagationPass
 from repro.analysis.passes.deprecation import DeprecatedFacadePass
 from repro.analysis.passes.determinism import DeterminismPass
 from repro.analysis.passes.errors import ErrorConventionsPass
@@ -18,6 +19,7 @@ from repro.analysis.passes.protocol import ProtocolConformancePass
 
 __all__ = [
     "BlockingUnderLockPass",
+    "DeadlinePropagationPass",
     "DeprecatedFacadePass",
     "DeterminismPass",
     "ErrorConventionsPass",
@@ -33,6 +35,7 @@ def all_passes() -> list[LintPass]:
         LockOrderPass(),
         BlockingUnderLockPass(),
         ProtocolConformancePass(),
+        DeadlinePropagationPass(),
         ErrorConventionsPass(),
         DeterminismPass(),
         MetricCataloguePass(),

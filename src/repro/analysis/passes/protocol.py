@@ -3,19 +3,21 @@
 FanStore's request/reply protocol is convention, not schema: requests
 are ``(kind, body)`` tuples on a well-known tag (``TAG_DAEMON``,
 ``TAG_MEMBER``), dispatched by string-matching ``kind`` in a serve
-loop, and — since request tracing landed — bodies come in a legacy
-2-tuple ``(subject, reply_tag)`` and a traced 3-tuple ``(subject,
-reply_tag, trace_ctx)`` form. This pass recovers the protocol from the
-AST and checks:
+loop, and bodies have grown by appended optional fields: the legacy
+2-tuple ``(subject, reply_tag)``, the traced 3-tuple adding
+``trace_ctx``, and — since deadline propagation landed — the 4-tuple
+adding an absolute ``deadline``. This pass recovers the protocol from
+the AST and checks:
 
 1. every ``kind`` emitted on a tag has a matching dispatch arm in that
    tag's serve loop (an unhandled kind hangs the sender forever — the
    reply never comes);
 2. the serve loop unpacks the request body with a starred target, so
-   both the 2- and 3-tuple arities parse;
-3. every wire body the request helper builds is exactly the 2- or
-   3-tuple form, and both forms exist (a codebase that only ever builds
-   one form has silently dropped legacy or traced support).
+   all three arities parse;
+3. every wire body the request helper builds is one of the 2/3/4-tuple
+   forms, and the deadline-stamped 4-tuple is among them (a helper that
+   only builds the shorter forms sends requests the server can never
+   shed as expired — deadline propagation silently dropped).
 
 Recognised idioms: a *dispatcher* is any method that calls
 ``recv``/``try_recv`` with a ``TAG_<NAME>`` constant; its handled kinds
@@ -95,7 +97,7 @@ def _methods(tree: ast.Module) -> list[_MethodInfo]:
 
 class ProtocolConformancePass(LintPass):
     rule = "protocol-conformance"
-    title = "every emitted kind has a dispatch arm; body arity is 2 or 3"
+    title = "every emitted kind has a dispatch arm; body arity is 2, 3 or 4"
 
     def run(self, project: Project) -> Iterable[Finding]:
         findings: list[Finding] = []
@@ -192,7 +194,8 @@ class ProtocolConformancePass(LintPass):
                 continue
             findings.extend(self._check_unpack(src, dispatcher))
 
-        # 3. request helpers must build exactly the 2-/3-tuple forms
+        # 3. request helpers must build protocol arities, incl. the
+        #    deadline-stamped 4-tuple
         for m in methods:
             if m.node.name in helpers:
                 findings.extend(self._check_wire_arity(src, m))
@@ -246,8 +249,8 @@ class ProtocolConformancePass(LintPass):
                                 node.lineno,
                                 f"{dispatcher.cls}.{dispatcher.node.name} "
                                 "unpacks the request body with fixed arity; "
-                                "use a starred target so legacy 2-tuple and "
-                                "traced 3-tuple bodies both parse",
+                                "use a starred target so the 2-, 3- and "
+                                "4-tuple body forms all parse",
                             )
                         )
         return findings
@@ -267,34 +270,25 @@ class ProtocolConformancePass(LintPass):
             ):
                 continue
             arities.add(len(node.elts))
-            if len(node.elts) not in (2, 3):
+            if len(node.elts) not in (2, 3, 4):
                 findings.append(
                     self.finding(
                         src,
                         node.lineno,
                         f"wire body built with {len(node.elts)} fields; the "
-                        "protocol defines only (subject, reply_tag) and "
-                        "(subject, reply_tag, trace_ctx)",
+                        "protocol defines only (subject, reply_tag"
+                        "[, trace_ctx[, deadline]])",
                     )
                 )
-        if arities and arities.isdisjoint({3}):
+        if arities and arities.isdisjoint({4}):
             findings.append(
                 self.finding(
                     src,
                     first_line,
-                    f"{helper.cls}.{helper.node.name} only builds the legacy "
-                    "2-tuple body; the traced 3-tuple form is part of the "
-                    "protocol",
-                )
-            )
-        if arities and arities.isdisjoint({2}):
-            findings.append(
-                self.finding(
-                    src,
-                    first_line,
-                    f"{helper.cls}.{helper.node.name} only builds the traced "
-                    "3-tuple body; legacy 2-tuple senders must stay "
-                    "supported",
+                    f"{helper.cls}.{helper.node.name} never builds the "
+                    "deadline-stamped 4-tuple body; without a wire deadline "
+                    "the server cannot shed this request once the sender "
+                    "has given up on it",
                 )
             )
         return findings

@@ -20,6 +20,7 @@ from repro.comm.communicator import (
     Request,
     World,
 )
+from repro.comm.deadline import Deadline, wire_deadline
 from repro.comm.fusion import (
     FusionBuffer,
     bucketed_allreduce,
@@ -37,7 +38,9 @@ __all__ = [
     "ChaosCommunicator",
     "ChaosStats",
     "ChaosWorld",
+    "Deadline",
     "FaultPlan",
+    "wire_deadline",
     "ParallelFailure",
     "run_parallel",
     "ring_exchange",

@@ -8,9 +8,13 @@ injects faults *underneath* the communicator API, so every call site
 (daemon service loop, ring replication, collectives) runs unmodified:
 
 - :class:`FaultPlan` — a seeded, deterministic description of what to
-  break: message **drops**, **delays**, **duplicates** (matched by
-  source/dest/tag with bounded occurrence counts or seeded
-  probabilities), and whole-**rank death**;
+  break: message **drops**, **delays** (with optional seeded jitter),
+  **duplicates**, **amplification** (N copies — the overload/retry-storm
+  case), all matched by source/dest/tag with bounded occurrence counts
+  or seeded probabilities; whole-**rank death**; and sustained
+  **slow-rank** gray failures (:meth:`FaultPlan.slow_rank` /
+  :meth:`FaultPlan.heal`) that delay everything a rank sends until
+  healed;
 - :class:`ChaosWorld` — a drop-in :class:`~repro.comm.communicator.World`
   whose ``comm()`` hands out :class:`ChaosCommunicator` handles, so
   ``run_parallel(fn, size, world=ChaosWorld(size, plan))`` is the whole
@@ -50,6 +54,7 @@ from repro.errors import CommClosedError, RankDeadError
 DROP = "drop"
 DELAY = "delay"
 DUPLICATE = "duplicate"
+AMPLIFY = "amplify"
 
 
 @dataclass
@@ -61,6 +66,19 @@ class ChaosStats:
     duplicated: int = 0
     blackholed: int = 0  # messages sent to an already-dead rank
     dead_rank_ops: int = 0  # operations attempted by a dead rank
+    slowed: int = 0  # messages delayed by a sustained slow_rank fault
+    amplified: int = 0  # extra copies delivered by amplify rules
+
+
+@dataclass
+class _SlowSpec:
+    """A sustained gray failure: every matching message the rank sends
+    is delayed until :meth:`FaultPlan.heal` clears it."""
+
+    seconds: float
+    jitter: float = 0.0
+    tag: int = ANY_TAG
+    min_tag: int | None = None
 
 
 @dataclass
@@ -75,6 +93,8 @@ class _Rule:
     times: int | None = 1  # matches to consume; None = unlimited
     probability: float = 1.0
     seconds: float = 0.0  # DELAY only
+    jitter: float = 0.0  # DELAY only: extra seeded uniform latency
+    copies: int = 2  # AMPLIFY only
     used: int = field(default=0, compare=False)
 
     def matches(self, source: int, dest: int, tag: int, rng: random.Random) -> bool:
@@ -107,6 +127,7 @@ class FaultPlan:
         self._rng = random.Random(seed)
         self._rules: list[_Rule] = []
         self._dead: set[int] = set()
+        self._slow: dict[int, _SlowSpec] = {}
         self._kill_after_sends: dict[int, int] = {}
         self._sends_by_rank: dict[int, int] = {}
         self._lock = threading.Lock()
@@ -139,12 +160,19 @@ class FaultPlan:
         min_tag: int | None = None,
         times: int | None = 1,
         probability: float = 1.0,
+        jitter: float = 0.0,
     ) -> "FaultPlan":
-        """Deliver matching messages late (the slow-peer case)."""
+        """Deliver matching messages late (the slow-peer case).
+        ``jitter`` adds a seeded uniform extra latency in
+        ``[0, jitter)`` per matched message — which messages draw which
+        jitter replays exactly from the plan seed."""
         if seconds < 0:
             raise ValueError(f"delay must be >= 0, got {seconds}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
         self._rules.append(_Rule(DELAY, source, dest, tag, min_tag,
-                                 times, probability, seconds=seconds))
+                                 times, probability, seconds=seconds,
+                                 jitter=jitter))
         return self
 
     def duplicate(
@@ -162,6 +190,55 @@ class FaultPlan:
                                  times, probability))
         return self
 
+    def amplify(
+        self,
+        *,
+        copies: int = 3,
+        source: int = ANY_SOURCE,
+        dest: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        min_tag: int | None = None,
+        times: int | None = 1,
+        probability: float = 1.0,
+    ) -> "FaultPlan":
+        """Deliver ``copies`` copies of matching messages — the
+        overload case: a burst of identical requests floods the
+        receiver's admission queue the way a retry storm would."""
+        if copies < 2:
+            raise ValueError(f"amplify needs copies >= 2, got {copies}")
+        self._rules.append(_Rule(AMPLIFY, source, dest, tag, min_tag,
+                                 times, probability, copies=copies))
+        return self
+
+    def slow_rank(
+        self,
+        rank: int,
+        seconds: float,
+        *,
+        jitter: float = 0.0,
+        tag: int = ANY_TAG,
+        min_tag: int | None = None,
+    ) -> "FaultPlan":
+        """Mark ``rank`` as a sustained gray failure: every matching
+        message *it sends* is delayed by ``seconds`` (plus a seeded
+        uniform jitter in ``[0, jitter)``) until :meth:`heal`. Scope
+        with ``tag``/``min_tag`` to slow e.g. only daemon replies while
+        heartbeats keep flowing — a GC-pausing data plane with a
+        healthy control plane."""
+        if seconds < 0:
+            raise ValueError(f"slow_rank delay must be >= 0, got {seconds}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
+        with self._lock:
+            self._slow[rank] = _SlowSpec(seconds, jitter, tag, min_tag)
+        return self
+
+    def heal(self, rank: int) -> "FaultPlan":
+        """Clear a rank's slow mark — the gray failure passed."""
+        with self._lock:
+            self._slow.pop(rank, None)
+        return self
+
     def kill(self, rank: int, *, after_sends: int = 0) -> "FaultPlan":
         """Schedule rank death: immediately, or once the rank has sent
         ``after_sends`` messages (a deterministic mid-run trigger)."""
@@ -177,6 +254,27 @@ class FaultPlan:
     def is_dead(self, rank: int) -> bool:
         with self._lock:
             return rank in self._dead
+
+    def is_slow(self, rank: int) -> bool:
+        with self._lock:
+            return rank in self._slow
+
+    def slow_for(self, source: int, tag: int) -> float | None:
+        """Delay seconds if ``source`` is marked slow for ``tag``, else
+        None. Jitter draws come from the plan RNG under the lock, so
+        the stream replays from the seed."""
+        with self._lock:
+            spec = self._slow.get(source)
+            if spec is None:
+                return None
+            if spec.tag not in (ANY_TAG, tag):
+                return None
+            if spec.min_tag is not None and tag < spec.min_tag:
+                return None
+            seconds = spec.seconds
+            if spec.jitter > 0.0:
+                seconds += self._rng.uniform(0.0, spec.jitter)
+            return seconds
 
     def dead_ranks(self) -> set[int]:
         with self._lock:
@@ -212,10 +310,17 @@ class FaultPlan:
             return False
 
     def decide(self, source: int, dest: int, tag: int) -> tuple[str, float]:
-        """(action, delay_seconds) for one message; first rule wins."""
+        """(action, value) for one message; first rule wins. The value
+        is delay seconds for DELAY (base plus any seeded jitter draw)
+        and the copy count for AMPLIFY."""
         with self._lock:
             for rule in self._rules:
                 if rule.matches(source, dest, tag, self._rng):
+                    if rule.action == DELAY and rule.jitter > 0.0:
+                        extra = self._rng.uniform(0.0, rule.jitter)
+                        return rule.action, rule.seconds + extra
+                    if rule.action == AMPLIFY:
+                        return rule.action, float(rule.copies)
                     return rule.action, rule.seconds
             return "deliver", 0.0
 
@@ -288,16 +393,29 @@ class ChaosCommunicator(Communicator):
             self.plan.stats.blackholed += 1
             self._after_send()
             return
-        action, seconds = self.plan.decide(self.rank, dest, tag)
+        slow = self.plan.slow_for(self.rank, tag)
+        if slow is not None:
+            # a sustained gray failure outranks the one-shot rules:
+            # everything this rank sends (in scope) limps
+            self.plan.stats.slowed += 1
+            self._deliver_later(payload, dest, tag, slow)
+            self._after_send()
+            return
+        action, value = self.plan.decide(self.rank, dest, tag)
         if action == DROP:
             self.plan.stats.dropped += 1
         elif action == DELAY:
             self.plan.stats.delayed += 1
-            self._deliver_later(payload, dest, tag, seconds)
+            self._deliver_later(payload, dest, tag, value)
         elif action == DUPLICATE:
             self.plan.stats.duplicated += 1
             super().send(payload, dest, tag)
             super().send(payload, dest, tag)
+        elif action == AMPLIFY:
+            copies = int(value)
+            self.plan.stats.amplified += copies - 1
+            for _ in range(copies):
+                super().send(payload, dest, tag)
         else:
             super().send(payload, dest, tag)
         self._after_send()

@@ -140,6 +140,44 @@ class RetryExhaustedError(CommError, TimeoutError):
         self.filename = path
 
 
+class DeadlineExpiredError(CommError, TimeoutError):
+    """A request's propagated deadline ran out before (or while) the
+    exchange completed — the remaining ladder is abandoned rather than
+    stacking further timeouts. Deliberately *not* a
+    :class:`RetryExhaustedError`: failover arms catch that to descend
+    the ladder, and a dead deadline means there is no ladder left to
+    descend. ``errno`` is ETIMEDOUT; ``filename`` names the subject
+    path when there is one."""
+
+    def __init__(self, detail: str, path: str | None = None) -> None:
+        import errno as _errno
+
+        super().__init__(detail)
+        self.errno = _errno.ETIMEDOUT
+        self.filename = path
+
+
+class ServerOverloadedError(FanStoreError, OSError):
+    """A daemon shed the request from its admission queue instead of
+    serving it. The EAGAIN of the store: back off (honouring
+    ``retry_after_s``) instead of retry-storming; ``filename`` names
+    the subject path when there is one."""
+
+    def __init__(
+        self,
+        detail: str,
+        path: str | None = None,
+        *,
+        retry_after_s: float = 0.0,
+    ) -> None:
+        import errno as _errno
+
+        super().__init__(detail)
+        self.errno = _errno.EAGAIN
+        self.filename = path
+        self.retry_after_s = retry_after_s
+
+
 class SelectionError(ReproError):
     """The compressor-selection algorithm received inconsistent inputs."""
 

@@ -17,25 +17,33 @@ One daemon runs per node (here: per rank of the in-process world). It
 
 Message protocol (all on ``TAG_DAEMON``; replies on caller-chosen tags):
 
-========== =====================================  =========================
-kind        payload                                reply
-========== =====================================  =========================
-fetch       (path, reply_tag[, trace_ctx])        (ok, compressed|error)
-stat        (path, reply_tag[, trace_ctx])        (ok, FileRecord|None)
-write_meta  (FileRecord, reply_tag[, trace_ctx])  (ok, None)
-stop        —                                     —
-========== =====================================  =========================
+========== ==============================================  =========================
+kind        payload                                         reply
+========== ==============================================  =========================
+fetch       (path, reply_tag[, trace_ctx[, deadline]])      (ok, compressed|error)
+stat        (path, reply_tag[, trace_ctx[, deadline]])      (ok, FileRecord|None)
+write_meta  (FileRecord, reply_tag[, trace_ctx[, deadline]])  (ok, None)
+stop        —                                               —
+========== ==============================================  =========================
 
 The optional third body element is the :mod:`repro.obs.tracing` wire
-context ``(trace_id, parent_span_id)``: when the requester is inside a
+context ``(trace_id, parent_span_id)`` — or ``None`` when the sender is
+untraced but still stamps a deadline: when the requester is inside a
 trace, the serving rank's span joins that trace, so one ``client.read``
-is reconstructable across every rank it touched. Two-element bodies
-(every pre-observability sender) are served identically, untraced.
+is reconstructable across every rank it touched. The optional fourth
+element is the request's absolute deadline (a shared
+``time.monotonic()`` reading, see :mod:`repro.comm.deadline`): a server
+drops work whose deadline already expired instead of replying into the
+void, and sheds queue overflow with an ``(_OVERLOAD, retry_after_s)``
+reply so clients back off instead of retry-storming. Two- and
+three-element bodies (every pre-deadline sender) are served
+identically, with no deadline.
 """
 
 from __future__ import annotations
 
 import itertools
+import logging
 import random
 import threading
 import time
@@ -44,19 +52,23 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.comm.communicator import ANY_SOURCE, Communicator
+from repro.comm.deadline import Deadline, wire_deadline
 from repro.compressors.registry import CompressorRegistry, default_registry
 from repro.errors import (
     CapacityError,
     CommClosedError,
     CommError,
     DataIntegrityError,
+    DeadlineExpiredError,
     FanStoreError,
     FileNotFoundInStoreError,
     RankDeadError,
     RetryExhaustedError,
+    ServerOverloadedError,
 )
 from repro.fanstore.backend import DiskBackend, RamBackend
 from repro.fanstore.cache import DecompressedCache
+from repro.fanstore.health import AdmissionQueue, BreakerState, HealthTracker
 from repro.fanstore.layout import blob_crc32, read_partition
 from repro.fanstore.membership import (
     ClusterView,
@@ -76,6 +88,18 @@ from repro.obs.tracing import NULL_SPAN, Tracer
 
 TAG_DAEMON = 0x0FA0
 _REPLY_TAG_BASE = 0x1000
+
+#: first element of a shed request's reply — never a valid ``ok`` bool,
+#: so legacy callers cannot mistake it for data. The second element is
+#: the server's suggested back-off in seconds.
+_OVERLOAD = "__overloaded__"
+
+#: load-time collectives (metadata allgather) are not on the request
+#: hot path; they get a generous fixed budget rather than the per-
+#: request deadline machinery.
+_LOAD_COLLECTIVE_TIMEOUT = 60.0
+
+_LOG = logging.getLogger(__name__)
 
 
 @dataclass
@@ -111,6 +135,17 @@ class DaemonStats:
     rereplicated_records: int = 0  # restored copies staged on this rank
     rereplication_failed: int = 0  # lost records no source could restore
     mean_time_to_repair: float = 0.0  # conviction → repair committed, seconds
+    hedged_reads: int = 0  # fetches where the hedge actually fired
+    hedge_wins: int = 0  # of those, the hedge replica answered first
+    hedge_losses: int = 0  # of those, the home rank still answered first
+    breaker_opens: int = 0  # circuit-breaker transitions into OPEN
+    breaker_probes: int = 0  # half-open requests let through as probes
+    breaker_skips: int = 0  # fetches routed around an open-breaker home
+    shed_requests: int = 0  # requests dropped by admission control
+    deadline_expired_drops: int = 0  # served-side: work abandoned pre-serve
+    deadline_aborts: int = 0  # client-side: exchanges abandoned at deadline
+    overload_backoffs: int = 0  # overload replies received (client backed off)
+    brownout_skipped_verifies: int = 0  # re-verifications skipped under load
 
     def bind(self, metrics: MetricsRegistry) -> None:
         """Register every field in ``metrics`` as ``daemon.<field>``,
@@ -164,6 +199,50 @@ class DaemonConfig:
     #: trace context are always served traced — a sampled trace on one
     #: rank is followed everywhere.
     trace_sample: float = 0.0
+    #: total wall-clock budget for one fetch ladder (home retries →
+    #: replicas → shared FS). None keeps the legacy behaviour — each
+    #: attempt gets a full ``request_timeout`` and the tiers stack; a
+    #: value caps every attempt's timeout and backoff by the remaining
+    #: budget, so the ladder can never outlive the caller (set it below
+    #: the trainer's ``comm_timeout``). Either way each request wire
+    #: body carries its attempt's absolute deadline so servers can drop
+    #: work the requester has already abandoned.
+    request_deadline: float | None = None
+    #: service-thread join budget at :meth:`FanStoreDaemon.stop` —
+    #: deliberately *not* ``request_timeout`` (a 30 s request budget
+    #: must not turn shutdown into a 30 s hang). A thread that misses
+    #: it is logged and leaked (it is a daemon thread; it dies with the
+    #: process).
+    shutdown_timeout: float = 5.0
+    #: hedged reads: after the home rank has been silent for the
+    #: ``hedge_quantile`` of its recent latencies (``hedge_after_s``
+    #: until enough samples exist), fire the same fetch at the best
+    #: replica and take the first verified reply. Off by default — the
+    #: healthy-cluster overhead is near zero, but hedging is a policy
+    #: the operator should opt into.
+    hedge_reads: bool = False
+    hedge_after_s: float = 0.05
+    hedge_quantile: float = 0.95
+    #: circuit breaker per peer: ``breaker_failure_threshold``
+    #: consecutive hard failures (timeouts, overload sheds) or
+    #: ``breaker_slow_threshold`` consecutive slow signals (hedge
+    #: fired, or latency above ``breaker_latency_threshold`` when set)
+    #: open it; after ``breaker_reset_after`` seconds it half-opens and
+    #: the next fetch probes.
+    breaker_failure_threshold: int = 3
+    breaker_slow_threshold: int = 3
+    breaker_reset_after: float = 1.0
+    breaker_latency_threshold: float | None = None
+    #: admission control: the service loop drains its mailbox into a
+    #: bounded queue; overflow sheds the nearest-deadline entry with an
+    #: overload reply carrying ``overload_retry_after_s``. Shedding (or
+    #: a backlog at/above ``brownout_queue_depth``, default half the
+    #: queue) enters *brownout* for ``brownout_hold_s``: re-verification
+    #: of already-digest-checked payloads is skipped to shed CPU.
+    max_queue_depth: int = 64
+    overload_retry_after_s: float = 0.05
+    brownout_queue_depth: int | None = None
+    brownout_hold_s: float = 0.5
 
 
 class FanStoreDaemon:
@@ -218,6 +297,28 @@ class FanStoreDaemon:
         # announced to peers in the metadata allgather
         self._replicated_paths: list[str] = []
         self._retry_rng = random.Random(0x5EED ^ self.rank)
+        #: per-peer latency EWMA/quantiles + circuit breakers; the
+        #: breaker transition/probe callbacks land in the stats bag so
+        #: the drills assert on them like any other counter
+        cfg = self.config
+        self.health = HealthTracker(
+            self.rank,
+            failure_threshold=cfg.breaker_failure_threshold,
+            slow_threshold=cfg.breaker_slow_threshold,
+            reset_after=cfg.breaker_reset_after,
+            latency_threshold=cfg.breaker_latency_threshold,
+        )
+        self.health.on_open = self._on_breaker_open
+        self.health.on_probe = self._on_breaker_probe
+        self._queue_depth = 0  # service-loop backlog, sampled per drain
+        self.metrics.bind_gauge("daemon.queue_depth", self, "_queue_depth")
+        self._brownout_until = 0.0
+        self._brownout_depth = (
+            cfg.brownout_queue_depth
+            if cfg.brownout_queue_depth is not None
+            else max(2, cfg.max_queue_depth // 2)
+        )
+        self._verified_paths: set[str] = set()
         self._membership: FailureDetector | None = None
         # negative route cache: dest rank → view epoch at the time the
         # exchange was given up on; a hit counts only while the epoch is
@@ -324,7 +425,10 @@ class FanStoreDaemon:
         comm = self.comm
         assert comm is not None
         mine = self.metadata.local_records(self.rank)
-        contributions = comm.allgather((mine, list(self._replicated_paths)))
+        contributions = comm.allgather(
+            (mine, list(self._replicated_paths)),
+            timeout=_LOAD_COLLECTIVE_TIMEOUT,
+        )
         for sender, (records, replicated) in enumerate(contributions):
             self.metadata.merge(records)
             for path in replicated:
@@ -383,6 +487,12 @@ class FanStoreDaemon:
         with self._route_lock:
             self._dead_routes.pop(dest, None)
 
+    def _on_breaker_open(self, peer: int) -> None:
+        self.stats.breaker_opens += 1
+
+    def _on_breaker_probe(self, peer: int) -> None:
+        self.stats.breaker_probes += 1
+
     def on_rank_dead(self, rank: int, view: ClusterView) -> None:
         """Membership callback: ``rank`` was convicted DEAD.
 
@@ -396,6 +506,9 @@ class FanStoreDaemon:
         factor. Counted in ``rereplicated_records`` and
         ``mean_time_to_repair``.
         """
+        # reconcile the breaker with the view: a conviction outranks
+        # whatever the latency tracker believed
+        self.health.force_open(rank)
         started = time.monotonic()
         plan = self.metadata.plan_rereplication(
             rank, view.non_dead_ranks(), self.size
@@ -438,7 +551,7 @@ class FanStoreDaemon:
                     "fetch", step.path, source,
                     attempts=max(1, self.config.failover_attempts),
                 )
-            except (RetryExhaustedError, RankDeadError):
+            except (RetryExhaustedError, ServerOverloadedError, RankDeadError):
                 continue
             if ok and self._blob_ok(record, data):
                 self.backend.put(step.path, data)
@@ -453,6 +566,9 @@ class FanStoreDaemon:
         those records. Ownership stays with the post-repair homes —
         handing primaries back would churn routing for no benefit."""
         self._clear_dead_route(rank)
+        # re-admission half-opens the breaker: the first fetch at the
+        # rejoiner is a probe, not a leap of faith
+        self.health.half_open(rank)
         for rec in self.metadata.records():
             if rec.is_broadcast:
                 continue
@@ -475,7 +591,7 @@ class FanStoreDaemon:
         record = min(candidates, key=lambda r: r.path)
         try:
             ok, data = self._request("fetch", record.path, joiner, attempts=1)
-        except (RetryExhaustedError, RankDeadError):
+        except (RetryExhaustedError, ServerOverloadedError, RankDeadError):
             return False
         return bool(ok) and isinstance(data, bytes) and self._blob_ok(record, data)
 
@@ -558,96 +674,168 @@ class FanStoreDaemon:
         self._service_thread.start()
 
     def stop(self) -> None:
-        """Stop the service loop (idempotent)."""
+        """Stop the service loop (idempotent). Shutdown gets its own
+        bounded budget — ``shutdown_timeout``, not ``request_timeout``
+        (a generous request budget must not become a shutdown hang). A
+        service thread that misses it is logged and leaked: it is a
+        daemon thread, so it cannot outlive the process."""
         if self.comm is None or self._service_thread is None:
             return
         self.comm.send(("stop", None), self.rank, TAG_DAEMON)
-        self._service_thread.join(timeout=self.config.request_timeout)
+        thread = self._service_thread
+        thread.join(timeout=self.config.shutdown_timeout)
+        if thread.is_alive():
+            _LOG.warning(
+                "rank %d: daemon service thread still running %.1fs after "
+                "stop; leaking it (daemon thread — dies with the process)",
+                self.rank, self.config.shutdown_timeout,
+            )
         self._service_thread = None
 
     def _serve(self) -> None:
         comm = self.comm
         assert comm is not None
+        queue = AdmissionQueue(self.config.max_queue_depth)
         while True:
+            if not len(queue):
+                try:
+                    msg = comm.recv_with_status(
+                        ANY_SOURCE, TAG_DAEMON, timeout=None
+                    )
+                except (CommClosedError, CommError):
+                    return
+                if self._admit(queue, msg):
+                    return
+            # Drain whatever else already arrived before serving:
+            # admission control can only shed backlog it can see, and a
+            # burst must not be served strictly one-recv-at-a-time.
+            while True:
+                try:
+                    msg = comm.try_recv(ANY_SOURCE, TAG_DAEMON)
+                except (CommClosedError, CommError):
+                    return
+                if msg is None:
+                    break
+                if self._admit(queue, msg):
+                    return
+            depth = len(queue)
+            self._queue_depth = depth
+            if depth >= self._brownout_depth:
+                self._brownout_until = (
+                    time.monotonic() + self.config.brownout_hold_s
+                )
+            entry = queue.pop()
+            if entry is not None and not self._serve_one(entry):
+                return
+
+    def _admit(self, queue: AdmissionQueue, msg: tuple) -> bool:
+        """Parse one envelope into the admission queue, shedding
+        overflow with overload replies. Returns True when the service
+        loop must exit (stop request, or the world tore down under a
+        shed reply).
+
+        A malformed message must not kill the service loop — the daemon
+        outlives misbehaving clients (it answers to every peer, not
+        just the sender). The optional third body element is the
+        requester's trace context (or None), the optional fourth its
+        absolute deadline; anything past that is malformed.
+        """
+        payload, source, _tag = msg
+        try:
+            kind, body = payload
+        except (TypeError, ValueError):
+            self.stats.malformed_requests += 1
+            return False
+        if kind == "stop":
+            return True
+        if kind not in ("fetch", "stat", "write_meta"):
+            self.stats.malformed_requests += 1
+            return False
+        try:
+            subject, reply_tag, *rest = body
+        except (TypeError, ValueError):
+            self.stats.malformed_requests += 1
+            return False
+        if len(rest) > 2 or not isinstance(reply_tag, int) or reply_tag < 0:
+            self.stats.malformed_requests += 1
+            return False
+        trace_wire = rest[0] if rest else None
+        deadline_at = wire_deadline(rest[1]) if len(rest) > 1 else None
+        entry = (kind, subject, reply_tag, source, trace_wire, deadline_at)
+        shed = queue.push(entry, deadline_at)
+        if shed:
+            # shedding is the overload signal: enter brownout
+            self._brownout_until = (
+                time.monotonic() + self.config.brownout_hold_s
+            )
+        retry_after = self.config.overload_retry_after_s
+        for _, _, victim_tag, victim_source, _, _ in shed:
+            self.stats.shed_requests += 1
             try:
-                payload, source, _tag = comm.recv_with_status(
-                    ANY_SOURCE, TAG_DAEMON, timeout=None
+                self.comm.send(
+                    (_OVERLOAD, retry_after), victim_source, victim_tag
                 )
             except (CommClosedError, CommError):
-                return
-            # A malformed message must not kill the service loop — the
-            # daemon outlives misbehaving clients (it answers to every
-            # peer, not just the sender).
-            try:
-                kind, body = payload
-            except (TypeError, ValueError):
-                self.stats.malformed_requests += 1
-                continue
-            if kind == "stop":
-                return
-            if kind not in ("fetch", "stat", "write_meta"):
-                self.stats.malformed_requests += 1
-                continue
-            # The body unpack must sit under the same shield as the
-            # envelope unpack: one peer sending ("fetch", None) must not
-            # take the service down for every other peer. The optional
-            # third element is the requester's trace context; anything
-            # past it is malformed.
-            try:
-                subject, reply_tag, *rest = body
-            except (TypeError, ValueError):
-                self.stats.malformed_requests += 1
-                continue
-            if len(rest) > 1 or not isinstance(reply_tag, int) or reply_tag < 0:
-                self.stats.malformed_requests += 1
-                continue
-            # Joining the requester's trace: a malformed context yields
-            # NULL_SPAN, never an error — tracing must not change what
-            # gets served.
-            span = (
-                self.tracer.adopt(rest[0], f"daemon.serve.{kind}",
-                                  source=source)
-                if rest else NULL_SPAN
-            )
-            try:
-                with span:
-                    if kind == "fetch":
-                        self.stats.served_requests += 1
-                        span.tag(path=subject)
-                        try:
-                            data = self._verified_local(subject)
-                        except FileNotFoundInStoreError:
-                            comm.send((False, subject), source, reply_tag)
-                        except DataIntegrityError:
-                            # never serve bytes that failed verification
-                            # and could not be self-repaired; no reply at
-                            # all, so the requester times out and walks
-                            # its own failover ladder (replicas, shared
-                            # FS)
-                            span.tag(unrepairable=True)
-                            continue
-                        else:
-                            comm.send((True, data), source, reply_tag)
-                    elif kind == "stat":
-                        span.tag(path=subject)
-                        try:
-                            rec = self.metadata.get(subject)
-                        except FileNotFoundInStoreError:
-                            comm.send((False, None), source, reply_tag)
-                        else:
-                            comm.send((True, rec), source, reply_tag)
-                    else:  # write_meta
-                        self.metadata.insert(subject)
-                        comm.send((True, None), source, reply_tag)
-            except (CommClosedError, CommError):
-                # replying to a torn-down world (or after our own
-                # injected death) ends the service loop — a crashed
-                # daemon stops serving
-                return
-            except (FanStoreError, TypeError, ValueError, AttributeError):
-                # a well-framed envelope around a nonsense subject (bad
-                # path type, bogus write_meta record) is still malformed
-                self.stats.malformed_requests += 1
+                return True
+        return False
+
+    def _serve_one(self, entry: tuple) -> bool:
+        """Serve one admitted request; False ends the service loop."""
+        comm = self.comm
+        assert comm is not None
+        kind, subject, reply_tag, source, trace_wire, deadline_at = entry
+        if deadline_at is not None and time.monotonic() >= deadline_at:
+            # the requester has already timed out and walked away:
+            # serving — or even refusing — would be work for nobody
+            self.stats.deadline_expired_drops += 1
+            return True
+        # Joining the requester's trace: a malformed context yields
+        # NULL_SPAN, never an error — tracing must not change what
+        # gets served.
+        span = (
+            self.tracer.adopt(trace_wire, f"daemon.serve.{kind}",
+                              source=source)
+            if trace_wire is not None else NULL_SPAN
+        )
+        try:
+            with span:
+                if kind == "fetch":
+                    self.stats.served_requests += 1
+                    span.tag(path=subject)
+                    try:
+                        data = self._verified_local(subject)
+                    except FileNotFoundInStoreError:
+                        comm.send((False, subject), source, reply_tag)
+                    except DataIntegrityError:
+                        # never serve bytes that failed verification
+                        # and could not be self-repaired; no reply at
+                        # all, so the requester times out and walks
+                        # its own failover ladder (replicas, shared
+                        # FS)
+                        span.tag(unrepairable=True)
+                    else:
+                        comm.send((True, data), source, reply_tag)
+                elif kind == "stat":
+                    span.tag(path=subject)
+                    try:
+                        rec = self.metadata.get(subject)
+                    except FileNotFoundInStoreError:
+                        comm.send((False, None), source, reply_tag)
+                    else:
+                        comm.send((True, rec), source, reply_tag)
+                else:  # write_meta
+                    self.metadata.insert(subject)
+                    comm.send((True, None), source, reply_tag)
+        except (CommClosedError, CommError):
+            # replying to a torn-down world (or after our own
+            # injected death) ends the service loop — a crashed
+            # daemon stops serving
+            return False
+        except (FanStoreError, TypeError, ValueError, AttributeError):
+            # a well-framed envelope around a nonsense subject (bad
+            # path type, bogus write_meta record) is still malformed
+            self.stats.malformed_requests += 1
+        return True
 
     # -- data path ------------------------------------------------------------
 
@@ -666,7 +854,13 @@ class FanStoreDaemon:
         return delay * (1.0 + cfg.retry_jitter * self._retry_rng.random())
 
     def _request(
-        self, kind: str, body: Any, dest: int, *, attempts: int | None = None
+        self,
+        kind: str,
+        body: Any,
+        dest: int,
+        *,
+        attempts: int | None = None,
+        deadline: Deadline | None = None,
     ) -> tuple[bool, Any]:
         """One request/reply exchange with a bounded retry budget.
 
@@ -676,46 +870,106 @@ class FanStoreDaemon:
         request. ``CommClosedError`` (world teardown) and
         ``RankDeadError`` (this rank is the dead one) are not retried —
         no amount of resending survives either.
+
+        With a ``deadline``, every attempt's timeout and backoff sleep
+        are capped by the remaining budget (retries no longer *stack*
+        full timeouts), and a spent budget raises
+        :class:`DeadlineExpiredError` instead of starting another
+        attempt. Either way the wire body carries the attempt's own
+        absolute expiry, so the server can drop work this side has
+        already given up on. An ``(_OVERLOAD, retry_after)`` reply is a
+        shed: back off at least ``retry_after`` before the next attempt,
+        and raise :class:`ServerOverloadedError` when the budget ends on
+        one — overload is the one failure retrying *amplifies*.
+
+        Outcomes feed the per-peer health tracker: reply latencies via
+        :meth:`HealthTracker.observe`, timeouts and sheds via
+        :meth:`HealthTracker.failure`.
         """
         comm = self.comm
         assert comm is not None
+        cfg = self.config
         if attempts is None:
-            attempts = 1 + max(0, self.config.max_retries)
+            attempts = 1 + max(0, cfg.max_retries)
+        path = body if isinstance(body, str) else None
         # Tracing: each attempt gets its own ``rpc.<kind>`` span (so
         # retries are visible as sibling spans) and the attempt's
         # context rides in the request body for the serving rank to
-        # adopt. Untraced callers send the legacy two-element body.
+        # adopt.
         traced = self.tracer.current_context() is not None
         last_exc: CommError | None = None
+        overload_wait: float | None = None
         for attempt in range(attempts):
             if attempt:
                 self.stats.retries += 1
-                time.sleep(self._backoff(attempt))
+                pause = self._backoff(attempt)
+                if overload_wait is not None:
+                    pause = max(pause, overload_wait)
+                    overload_wait = None
+                if deadline is not None:
+                    pause = deadline.cap(pause)
+                time.sleep(pause)
+            if deadline is not None and deadline.expired():
+                self.stats.deadline_aborts += 1
+                raise DeadlineExpiredError(
+                    f"rank {self.rank}: {kind} request to rank {dest} "
+                    f"abandoned after {attempt} attempt(s): deadline "
+                    f"expired (last error: {last_exc})",
+                    path,
+                ) from last_exc
+            attempt_timeout = (
+                cfg.request_timeout if deadline is None
+                else deadline.cap(cfg.request_timeout)
+            )
             reply_tag = self._next_reply_tag()
             span = (
                 self.tracer.span(f"rpc.{kind}", dest=dest, attempt=attempt)
                 if traced else NULL_SPAN
             )
+            t0 = time.perf_counter()
             try:
                 with span:
                     ctx = span.context()
                     wire_body = (
-                        (body, reply_tag) if ctx is None
-                        else (body, reply_tag, ctx.as_wire())
+                        body, reply_tag,
+                        None if ctx is None else ctx.as_wire(),
+                        time.monotonic() + attempt_timeout,
                     )
                     comm.send((kind, wire_body), dest, TAG_DAEMON)
-                    return comm.recv(
-                        dest, reply_tag, timeout=self.config.request_timeout
-                    )
+                    reply = comm.recv(dest, reply_tag, timeout=attempt_timeout)
             except (CommClosedError, RankDeadError):
                 raise
             except CommError as exc:
                 last_exc = exc
+                self.health.failure(dest)
+                continue
+            if (
+                isinstance(reply, tuple) and len(reply) == 2
+                and reply[0] == _OVERLOAD
+            ):
+                self.stats.overload_backoffs += 1
+                self.health.failure(dest)
+                last_exc = None
+                overload_wait = (
+                    float(reply[1])
+                    if isinstance(reply[1], (int, float))
+                    else cfg.overload_retry_after_s
+                )
+                continue
+            self.health.observe(dest, time.perf_counter() - t0)
+            return reply
+        if overload_wait is not None:
+            raise ServerOverloadedError(
+                f"rank {self.rank}: {kind} request to rank {dest} shed by "
+                f"admission control on every one of {attempts} attempt(s)",
+                path,
+                retry_after_s=overload_wait,
+            )
         raise RetryExhaustedError(
             f"rank {self.rank}: {kind} request to rank {dest} "
             f"(tag {TAG_DAEMON:#x}, last reply tag {reply_tag:#x}) failed "
             f"after {attempts} attempt(s): {last_exc}",
-            path=body if isinstance(body, str) else None,
+            path=path,
         ) from last_exc
 
     def _lookup(self, norm: str) -> FileRecord:
@@ -739,12 +993,28 @@ class FanStoreDaemon:
         Verification time accumulates into ``_last_verify_s`` — an
         observed open resets it before fetching, so the verify phase
         histogram captures every digest check the fetch ladder did for
-        that read (a failover verifies at each tier)."""
+        that read (a failover verifies at each tier).
+
+        Brownout: while the service loop is shedding (see
+        :meth:`_admit`), *re*-verification of a payload this rank
+        already digest-checked once is skipped — the marginal
+        protection of the Nth identical check is what overload can
+        afford to lose. First-time checks always run."""
         if not self.config.verify_reads or not record.stat.has_digest:
+            return True
+        if (
+            record.path in self._verified_paths
+            and time.monotonic() < self._brownout_until
+        ):
+            self.stats.brownout_skipped_verifies += 1
             return True
         t0 = time.perf_counter()
         ok = blob_crc32(data) == record.stat.crc32
         self._last_verify_s += time.perf_counter() - t0
+        if ok:
+            self._verified_paths.add(record.path)
+        else:
+            self._verified_paths.discard(record.path)
         return ok
 
     def _verified_local(self, norm: str, record: FileRecord | None = None) -> bytes:
@@ -766,12 +1036,20 @@ class FanStoreDaemon:
             return data
         return self.repair(norm, record)
 
-    def fetch_compressed(self, path: str) -> bytes:
-        """Compressed bytes for ``path`` — locally, from the home rank,
-        from a surviving replica, or (degraded mode) re-read off the
-        shared FS (§IV-C2, Figure 2; failover ladder home → replicas →
-        partition file). Every tier's bytes are digest-verified before
-        they are accepted; a mismatch anywhere descends the ladder."""
+    def fetch_compressed(
+        self, path: str, *, deadline: Deadline | None = None
+    ) -> bytes:
+        """Compressed bytes for ``path`` — locally, from the home rank
+        (hedged at a replica when enabled), from a surviving replica, or
+        (degraded mode) re-read off the shared FS (§IV-C2, Figure 2;
+        failover ladder home → replicas → partition file). Every tier's
+        bytes are digest-verified before they are accepted; a mismatch
+        anywhere descends the ladder.
+
+        One :class:`~repro.comm.deadline.Deadline` (the caller's, or a
+        fresh one from ``config.request_deadline``) budgets the whole
+        ladder: tiers spend from it rather than stacking timeouts, and
+        a spent budget surfaces as :class:`DeadlineExpiredError`."""
         norm = normalize(path)
         record = self._lookup(norm)
         if (
@@ -781,29 +1059,41 @@ class FanStoreDaemon:
         ):
             self.stats.local_opens += 1
             return self._verified_local(norm, record)
-        if self._route_dead(record.home_rank):
+        if deadline is None and self.config.request_deadline is not None:
+            deadline = Deadline.after(self.config.request_deadline)
+        home = record.home_rank
+        if self._route_dead(home):
             # known-dead home: skip the retry/backoff ladder entirely
             # and jump straight to the failover tiers (still counted as
             # a failover — the fetch did leave the home rank)
             self.stats.dead_route_skips += 1
             self.stats.failovers += 1
-            data = self._fetch_from_replicas(norm, record)
-            if data is None:
-                data = self._degraded_read(norm, record)
-            if data is None:
-                raise RetryExhaustedError(
-                    f"rank {self.rank}: fetch of {norm} skipped dead home "
-                    f"rank {record.home_rank} (tag {TAG_DAEMON:#x}) and no "
-                    "replica or shared-FS copy answered",
-                    path=norm,
-                )
-            return data
-        try:
-            ok, data = self._request("fetch", norm, record.home_rank)
-        except RetryExhaustedError as home_failure:
-            self._note_dead_route(record.home_rank)
+            return self._failover_fetch(
+                norm, record, deadline,
+                f"rank {self.rank}: fetch of {norm} skipped dead home "
+                f"rank {home} (tag {TAG_DAEMON:#x}) and no replica or "
+                "shared-FS copy answered",
+            )
+        if not self.health.allow(home):
+            # the breaker saw a gray failure the membership layer has
+            # not (yet): route around the slow home without spending a
+            # single timeout on it
+            self.stats.breaker_skips += 1
             self.stats.failovers += 1
-            data = self._fetch_from_replicas(norm, record)
+            return self._failover_fetch(
+                norm, record, deadline,
+                f"rank {self.rank}: fetch of {norm} skipped home rank "
+                f"{home} (circuit breaker open) and no replica or "
+                "shared-FS copy answered",
+            )
+        try:
+            ok, data = self._home_fetch(norm, record, deadline)
+        except (RetryExhaustedError, ServerOverloadedError) as home_failure:
+            if isinstance(home_failure, RetryExhaustedError):
+                # overload is pressure, not death: don't poison routing
+                self._note_dead_route(home)
+            self.stats.failovers += 1
+            data = self._fetch_from_replicas(norm, record, deadline=deadline)
             if data is None:
                 data = self._degraded_read(norm, record)
             if data is None:
@@ -819,6 +1109,188 @@ class FanStoreDaemon:
         # the home rank served corrupt bytes (and could not self-heal):
         # same quarantine + ladder as a corrupt local copy
         return self.repair(norm, record)
+
+    def _failover_fetch(
+        self,
+        norm: str,
+        record: FileRecord,
+        deadline: Deadline | None,
+        exhausted_message: str,
+    ) -> bytes:
+        """Replica tier then shared-FS floor, when the home rank was
+        skipped outright (dead route or open breaker)."""
+        data = self._fetch_from_replicas(norm, record, deadline=deadline)
+        if data is None:
+            data = self._degraded_read(norm, record)
+        if data is None:
+            raise RetryExhaustedError(exhausted_message, path=norm)
+        return data
+
+    def _home_fetch(
+        self, norm: str, record: FileRecord, deadline: Deadline | None
+    ) -> tuple[bool, Any]:
+        """The home-rank tier: a plain retried request, or — with
+        ``hedge_reads`` on and a replica available — a hedged one."""
+        if not self.config.hedge_reads:
+            return self._request(
+                "fetch", norm, record.home_rank, deadline=deadline
+            )
+        replicas = self._replica_order(norm, record)
+        if not replicas:
+            return self._request(
+                "fetch", norm, record.home_rank, deadline=deadline
+            )
+        return self._hedged_fetch(norm, record, replicas[0], deadline)
+
+    def _hedge_delay(self, dest: int) -> float:
+        """How long to leave the home rank alone before hedging: the
+        configured quantile of its recent reply latencies, or the fixed
+        ``hedge_after_s`` until samples exist."""
+        cfg = self.config
+        delay = self.health.quantile(
+            dest, cfg.hedge_quantile, cfg.hedge_after_s
+        )
+        # floor well above zero so a burst of fast replies cannot turn
+        # hedging into send-everything-twice
+        return min(max(delay, 1e-3), cfg.request_timeout)
+
+    def _hedged_fetch(
+        self,
+        norm: str,
+        record: FileRecord,
+        hedge_dest: int,
+        deadline: Deadline | None,
+    ) -> tuple[bool, Any]:
+        """One fetch, two possible servers: the home rank first; if it
+        stays silent past the hedge delay, the same request (same reply
+        tag — whichever reply lands first is taken) goes to the best
+        replica. The winner must pass digest verification or the loser
+        gets its chance; the loser's late reply rots harmlessly on the
+        never-reused tag. Raises :class:`RetryExhaustedError` when
+        neither leg answers in time (the caller descends the ladder).
+        """
+        comm = self.comm
+        assert comm is not None
+        cfg = self.config
+        home = record.home_rank
+        if deadline is not None and deadline.expired():
+            self.stats.deadline_aborts += 1
+            raise DeadlineExpiredError(
+                f"rank {self.rank}: hedged fetch of {norm} abandoned "
+                "before send: deadline expired",
+                norm,
+            )
+        budget = (
+            cfg.request_timeout if deadline is None
+            else deadline.cap(cfg.request_timeout)
+        )
+        reply_tag = self._next_reply_tag()
+        traced = self.tracer.current_context() is not None
+        span = (
+            self.tracer.span("rpc.fetch", dest=home, hedge=hedge_dest)
+            if traced else NULL_SPAN
+        )
+        with span:
+            ctx = span.context()
+            wire_body = (
+                norm, reply_tag,
+                None if ctx is None else ctx.as_wire(),
+                time.monotonic() + budget,
+            )
+            t0 = time.perf_counter()
+            comm.send(("fetch", wire_body), home, TAG_DAEMON)
+            try:
+                reply = comm.recv(
+                    home, reply_tag,
+                    timeout=min(self._hedge_delay(home), budget),
+                )
+            except CommError:
+                reply = None
+            racing: set[int] = set()
+            if reply is not None:
+                try:
+                    return self._hedge_accept(
+                        reply, home, home, record, t0, span
+                    )
+                except DataIntegrityError:
+                    pass  # home's leg burned (corrupt/shed): hedge it
+            else:
+                # home missed its hedge delay: that is a slow strike
+                # even if it eventually answers
+                self.health.note_slow(home)
+                racing.add(home)
+            # the replica gets the same request on the same reply tag —
+            # whichever leg lands first is the one that counts
+            self.stats.hedged_reads += 1
+            span.tag(hedged=True)
+            comm.send(("fetch", wire_body), hedge_dest, TAG_DAEMON)
+            racing.add(hedge_dest)
+            while racing:
+                remaining = budget - (time.perf_counter() - t0)
+                if deadline is not None:
+                    remaining = deadline.cap(remaining)
+                if remaining <= 0:
+                    break
+                try:
+                    reply, source, _tag = comm.recv_with_status(
+                        ANY_SOURCE, reply_tag, timeout=remaining
+                    )
+                except CommError:
+                    break
+                if source not in racing:
+                    continue  # a duplicate delivery of a counted leg
+                racing.discard(source)
+                if source == hedge_dest:
+                    self.stats.hedge_wins += 1
+                else:
+                    self.stats.hedge_losses += 1
+                try:
+                    return self._hedge_accept(
+                        reply, source, home, record, t0, span
+                    )
+                except DataIntegrityError:
+                    continue  # corrupt leg: let the other one race on
+        for leg in racing:
+            self.health.failure(leg)
+        raise RetryExhaustedError(
+            f"rank {self.rank}: hedged fetch of {norm} from home rank "
+            f"{home} (hedge rank {hedge_dest}, tag {TAG_DAEMON:#x}, reply "
+            f"tag {reply_tag:#x}) got no verified reply in time",
+            path=norm,
+        )
+
+    def _hedge_accept(
+        self,
+        reply: Any,
+        source: int,
+        home: int,
+        record: FileRecord,
+        t0: float,
+        span: Any,
+    ) -> tuple[bool, Any]:
+        """Validate one hedged leg's reply; DataIntegrityError means
+        "keep racing", anything returned is final."""
+        if (
+            isinstance(reply, tuple) and len(reply) == 2
+            and reply[0] == _OVERLOAD
+        ):
+            self.stats.overload_backoffs += 1
+            self.health.failure(source)
+            raise DataIntegrityError(  # caller treats as a dead leg
+                record.path, "hedged leg shed by admission control"
+            )
+        ok, data = reply
+        if not ok:
+            # authoritative not-found travels up only from the home
+            # rank; a replica without the record is just a losing leg
+            if source == home:
+                return False, data
+            raise DataIntegrityError(record.path, "replica missed")
+        if not self._blob_ok(record, data):
+            raise DataIntegrityError(record.path, "hedged leg corrupt")
+        self.health.observe(source, time.perf_counter() - t0)
+        span.tag(winner=source)
+        return True, data
 
     def repair(self, path: str, record: FileRecord | None = None) -> bytes:
         """Quarantine a corrupt copy of ``path`` and re-fetch verified
@@ -856,7 +1328,7 @@ class FanStoreDaemon:
                 except RetryExhaustedError:
                     ok, candidate = False, None
                     self._note_dead_route(record.home_rank)
-                except RankDeadError:
+                except (ServerOverloadedError, RankDeadError):
                     ok, candidate = False, None
                 if ok and self._blob_ok(record, candidate):
                     data = candidate
@@ -877,27 +1349,42 @@ class FanStoreDaemon:
             return data
 
     def _replica_order(self, norm: str, record: FileRecord) -> list[int]:
-        """Failover order over the announced replicas: view-ALIVE ranks
-        first (ascending), SUSPECT ranks last, convicted-DEAD and
-        negative-cached ranks skipped outright."""
+        """Failover order over the announced replicas: healthy
+        view-ALIVE ranks first (ascending), then SUSPECT ranks, then
+        open-breaker ranks (slow is still better than nothing — replicas
+        are the fallback tier, so they are deprioritized, not skipped);
+        convicted-DEAD and negative-cached ranks are skipped outright."""
         candidates = [
             r for r in self.metadata.replica_ranks(norm)
             if r not in (self.rank, record.home_rank)
             and not self._route_dead(r)
         ]
         view = self.current_view()
-        if view is None:
-            return candidates
         return sorted(
             candidates,
-            key=lambda r: (view.state(r) == RankState.SUSPECT, r),
+            key=lambda r: (
+                self.health.state(r) is BreakerState.OPEN,
+                view is not None and view.state(r) == RankState.SUSPECT,
+                r,
+            ),
         )
 
-    def _fetch_from_replicas(self, norm: str, record: FileRecord) -> bytes | None:
+    def _fetch_from_replicas(
+        self,
+        norm: str,
+        record: FileRecord,
+        *,
+        deadline: Deadline | None = None,
+    ) -> bytes | None:
         """Second tier of the ladder: ranks that announced a ring-copied
         (or re-replicated) copy of this path. A replica serving corrupt
-        bytes is skipped the same way an unreachable one is."""
+        bytes is skipped the same way an unreachable or overloaded one
+        is; each attempt spends from the shared ladder deadline."""
         for replica in self._replica_order(norm, record):
+            if deadline is not None and deadline.expired():
+                # out of budget: the caller's floor (shared FS) is
+                # local-only, so let it decide — don't raise here
+                return None
             # one span per replica attempt: a failed tier shows up as an
             # errored sibling, not a silent gap in the trace
             span = self.tracer.span("fetch.replica", rank=replica)
@@ -906,9 +1393,12 @@ class FanStoreDaemon:
                     ok, data = self._request(
                         "fetch", norm, replica,
                         attempts=max(1, self.config.failover_attempts),
+                        deadline=deadline,
                     )
-            except RetryExhaustedError:
+            except (RetryExhaustedError, ServerOverloadedError):
                 continue
+            except DeadlineExpiredError:
+                return None
             if ok and self._blob_ok(record, data):
                 self.stats.remote_fetches += 1
                 self.stats.remote_bytes += len(data)

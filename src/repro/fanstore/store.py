@@ -54,6 +54,10 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
 from repro.util.service import ServiceMixin
 
+#: shutdown-barrier bound: generous (peers may still be draining
+#: epochs), but finite — shutdown must never hang unbounded.
+_SHUTDOWN_BARRIER_TIMEOUT = 60.0
+
 
 @dataclass(frozen=True)
 class FanStoreOptions:
@@ -256,7 +260,9 @@ class FanStore(ServiceMixin):
             view is None or view.epoch == 0
         )
         if self.daemon.comm is not None and collective_safe:
-            self.daemon.comm.barrier()
+            # explicit bound: a peer wedged mid-teardown must not hang
+            # this rank forever (its daemon still answers until stop())
+            self.daemon.comm.barrier(timeout=_SHUTDOWN_BARRIER_TIMEOUT)
         self.daemon.stop()
 
     # -- introspection ---------------------------------------------------------
@@ -279,6 +285,12 @@ class FanStore(ServiceMixin):
         ``cache.*``, ``codec.*``, ``membership.*``, ... — the catalogue
         is in ``docs/observability.md``)."""
         return self.daemon.metrics
+
+    @property
+    def health(self):
+        """This rank's per-peer health tracker (latency EWMA/quantiles
+        + circuit breakers; :class:`repro.fanstore.health.HealthTracker`)."""
+        return self.daemon.health
 
     @property
     def tracer(self) -> Tracer:

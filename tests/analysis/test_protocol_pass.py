@@ -14,24 +14,26 @@ CONFORMING = textwrap.dedent(
     class Daemon:
         def _serve(self):
             while True:
-                kind, body = self.comm.recv(-1, TAG_DAEMON)
+                kind, body = self.comm.recv(-1, TAG_DAEMON, timeout=None)
                 if kind == "stop":
                     break
                 if kind not in ("fetch", "stat"):
                     continue
                 subject, reply_tag, *rest = body
-                if len(rest) > 1:
+                if len(rest) > 2:
                     continue
 
         def _request(self, kind, body, dest):
             reply_tag = self._next_tag()
             ctx = self.tracer.current_context()
             wire_body = (
-                (body, reply_tag) if ctx is None
-                else (body, reply_tag, ctx.as_wire())
+                body,
+                reply_tag,
+                None if ctx is None else ctx.as_wire(),
+                self._clock() + self.timeout,
             )
             self.comm.send((kind, wire_body), dest, TAG_DAEMON)
-            return self.comm.recv(dest, reply_tag)
+            return self.comm.recv(dest, reply_tag, timeout=self.timeout)
 
         def fetch(self, path):
             return self._request("fetch", path, 0)
@@ -74,7 +76,7 @@ class TestProtocolConformance:
         src = CONFORMING.replace(
             "subject, reply_tag, *rest = body",
             "subject, reply_tag = body",
-        ).replace("if len(rest) > 1:", "if reply_tag < 0:")
+        ).replace("if len(rest) > 2:", "if reply_tag < 0:")
         report = lint_tree({"fanstore/daemon.py": src})
         findings = rules_of(report, "protocol-conformance")
         assert len(findings) == 1
@@ -82,25 +84,24 @@ class TestProtocolConformance:
 
     def test_oversized_wire_body_flagged(self, lint_tree):
         src = CONFORMING.replace(
-            "else (body, reply_tag, ctx.as_wire())",
-            "else (body, reply_tag, ctx.as_wire(), self.rank)",
+            "self._clock() + self.timeout,",
+            "self._clock() + self.timeout,\n            self.rank,",
         )
         report = lint_tree({"fanstore/daemon.py": src})
         messages = [f.message for f in rules_of(report, "protocol-conformance")]
-        # the 4-tuple is flagged, and with it the traced 3-tuple is missing
+        # the 5-tuple is flagged, and with it the deadline 4-tuple is missing
         assert len(messages) == 2
-        assert any("4 fields" in m for m in messages)
-        assert any("traced 3-tuple" in m for m in messages)
+        assert any("5 fields" in m for m in messages)
+        assert any("deadline-stamped 4-tuple" in m for m in messages)
 
-    def test_missing_traced_form_flagged(self, lint_tree):
+    def test_missing_deadline_form_flagged(self, lint_tree):
         src = CONFORMING.replace(
-            "else (body, reply_tag, ctx.as_wire())",
-            "else (body, reply_tag)",
+            "            self._clock() + self.timeout,\n", ""
         )
         report = lint_tree({"fanstore/daemon.py": src})
         findings = rules_of(report, "protocol-conformance")
         assert len(findings) == 1
-        assert "traced 3-tuple" in findings[0].message
+        assert "deadline-stamped 4-tuple" in findings[0].message
 
     def test_waiver_applies(self, lint_tree):
         src = CONFORMING + textwrap.dedent(
