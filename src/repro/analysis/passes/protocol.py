@@ -5,19 +5,21 @@ are ``(kind, body)`` tuples on a well-known tag (``TAG_DAEMON``,
 ``TAG_MEMBER``), dispatched by string-matching ``kind`` in a serve
 loop, and bodies have grown by appended optional fields: the legacy
 2-tuple ``(subject, reply_tag)``, the traced 3-tuple adding
-``trace_ctx``, and — since deadline propagation landed — the 4-tuple
-adding an absolute ``deadline``. This pass recovers the protocol from
-the AST and checks:
+``trace_ctx``, the deadline-propagating 4-tuple adding an absolute
+``deadline``, and — since epoch fencing landed — the 5-tuple adding
+the sender's fencing token (membership view ``epoch``). This pass
+recovers the protocol from the AST and checks:
 
 1. every ``kind`` emitted on a tag has a matching dispatch arm in that
    tag's serve loop (an unhandled kind hangs the sender forever — the
    reply never comes);
 2. the serve loop unpacks the request body with a starred target, so
-   all three arities parse;
-3. every wire body the request helper builds is one of the 2/3/4-tuple
-   forms, and the deadline-stamped 4-tuple is among them (a helper that
-   only builds the shorter forms sends requests the server can never
-   shed as expired — deadline propagation silently dropped).
+   all arities parse;
+3. every wire body the request helper builds is one of the
+   2/3/4/5-tuple forms, and the epoch-fenced 5-tuple is among them (a
+   helper that only builds the shorter forms sends mutations the
+   server can never fence as stale — split-brain protection silently
+   dropped).
 
 Recognised idioms: a *dispatcher* is any method that calls
 ``recv``/``try_recv`` with a ``TAG_<NAME>`` constant; its handled kinds
@@ -97,7 +99,7 @@ def _methods(tree: ast.Module) -> list[_MethodInfo]:
 
 class ProtocolConformancePass(LintPass):
     rule = "protocol-conformance"
-    title = "every emitted kind has a dispatch arm; body arity is 2, 3 or 4"
+    title = "every emitted kind has a dispatch arm; body arity is 2 through 5"
 
     def run(self, project: Project) -> Iterable[Finding]:
         findings: list[Finding] = []
@@ -195,7 +197,7 @@ class ProtocolConformancePass(LintPass):
             findings.extend(self._check_unpack(src, dispatcher))
 
         # 3. request helpers must build protocol arities, incl. the
-        #    deadline-stamped 4-tuple
+        #    epoch-fenced 5-tuple
         for m in methods:
             if m.node.name in helpers:
                 findings.extend(self._check_wire_arity(src, m))
@@ -249,8 +251,8 @@ class ProtocolConformancePass(LintPass):
                                 node.lineno,
                                 f"{dispatcher.cls}.{dispatcher.node.name} "
                                 "unpacks the request body with fixed arity; "
-                                "use a starred target so the 2-, 3- and "
-                                "4-tuple body forms all parse",
+                                "use a starred target so the 2- through "
+                                "5-tuple body forms all parse",
                             )
                         )
         return findings
@@ -270,25 +272,25 @@ class ProtocolConformancePass(LintPass):
             ):
                 continue
             arities.add(len(node.elts))
-            if len(node.elts) not in (2, 3, 4):
+            if len(node.elts) not in (2, 3, 4, 5):
                 findings.append(
                     self.finding(
                         src,
                         node.lineno,
                         f"wire body built with {len(node.elts)} fields; the "
                         "protocol defines only (subject, reply_tag"
-                        "[, trace_ctx[, deadline]])",
+                        "[, trace_ctx[, deadline[, epoch]]])",
                     )
                 )
-        if arities and arities.isdisjoint({4}):
+        if arities and arities.isdisjoint({5}):
             findings.append(
                 self.finding(
                     src,
                     first_line,
                     f"{helper.cls}.{helper.node.name} never builds the "
-                    "deadline-stamped 4-tuple body; without a wire deadline "
-                    "the server cannot shed this request once the sender "
-                    "has given up on it",
+                    "epoch-fenced 5-tuple body; without a fencing token "
+                    "the server cannot reject this request when it was "
+                    "decided under a stale membership view",
                 )
             )
         return findings

@@ -11,10 +11,13 @@ injects faults *underneath* the communicator API, so every call site
   break: message **drops**, **delays** (with optional seeded jitter),
   **duplicates**, **amplification** (N copies — the overload/retry-storm
   case), all matched by source/dest/tag with bounded occurrence counts
-  or seeded probabilities; whole-**rank death**; and sustained
+  or seeded probabilities; whole-**rank death**; sustained
   **slow-rank** gray failures (:meth:`FaultPlan.slow_rank` /
   :meth:`FaultPlan.heal`) that delay everything a rank sends until
-  healed;
+  healed; and **network partitions** (:meth:`FaultPlan.partition` /
+  :meth:`FaultPlan.asymmetric_partition`) that silently swallow every
+  message crossing a cut until the cut is healed — the split-brain
+  case: both sides stay alive, neither can hear the other;
 - :class:`ChaosWorld` — a drop-in :class:`~repro.comm.communicator.World`
   whose ``comm()`` hands out :class:`ChaosCommunicator` handles, so
   ``run_parallel(fn, size, world=ChaosWorld(size, plan))`` is the whole
@@ -68,6 +71,7 @@ class ChaosStats:
     dead_rank_ops: int = 0  # operations attempted by a dead rank
     slowed: int = 0  # messages delayed by a sustained slow_rank fault
     amplified: int = 0  # extra copies delivered by amplify rules
+    partitioned: int = 0  # messages swallowed by an active partition cut
 
 
 @dataclass
@@ -79,6 +83,28 @@ class _SlowSpec:
     jitter: float = 0.0
     tag: int = ANY_TAG
     min_tag: int | None = None
+
+
+@dataclass
+class _Cut:
+    """One directed partition edge: matching ``src``→``dst`` messages
+    vanish until the cut is healed. Unlike death, the destination's
+    mailbox stays open — a parked recv across the cut simply times out,
+    and delivery resumes the instant the cut is removed."""
+
+    src: int
+    dst: int
+    tag: int = ANY_TAG
+    min_tag: int | None = None
+
+    def blocks(self, source: int, dest: int, tag: int) -> bool:
+        if self.src != source or self.dst != dest:
+            return False
+        if self.tag not in (ANY_TAG, tag):
+            return False
+        if self.min_tag is not None and tag < self.min_tag:
+            return False
+        return True
 
 
 @dataclass
@@ -128,6 +154,8 @@ class FaultPlan:
         self._rules: list[_Rule] = []
         self._dead: set[int] = set()
         self._slow: dict[int, _SlowSpec] = {}
+        self._cuts: dict[int, list[_Cut]] = {}
+        self._next_cut_id = 0
         self._kill_after_sends: dict[int, int] = {}
         self._sends_by_rank: dict[int, int] = {}
         self._lock = threading.Lock()
@@ -233,10 +261,77 @@ class FaultPlan:
             self._slow[rank] = _SlowSpec(seconds, jitter, tag, min_tag)
         return self
 
-    def heal(self, rank: int) -> "FaultPlan":
-        """Clear a rank's slow mark — the gray failure passed."""
+    def partition(
+        self,
+        *groups,
+        tag: int = ANY_TAG,
+        min_tag: int | None = None,
+    ) -> int:
+        """Split the world into isolated components: every message
+        between ranks of *different* groups (both directions, within the
+        ``tag``/``min_tag`` scope) is silently swallowed until healed.
+        Ranks absent from every group are unaffected. Returns a cut id
+        for :meth:`heal(cut=...) <heal>`; ``heal()`` with no arguments
+        removes every cut.
+
+        Mailboxes stay open: unlike :meth:`kill`, a partitioned rank is
+        alive and busy — it just cannot be heard across the cut, which
+        is exactly what a membership detector must not confuse with
+        death."""
+        if len(groups) < 2:
+            raise ValueError("partition needs at least two groups")
+        ordered = [sorted(set(g)) for g in groups]
+        seen: set[int] = set()
+        for members in ordered:
+            overlap = seen.intersection(members)
+            if overlap:
+                raise ValueError(f"partition groups overlap: {sorted(overlap)}")
+            seen.update(members)
+        cuts: list[_Cut] = []
+        for i, left in enumerate(ordered):
+            for right in ordered[i + 1:]:
+                for a in left:
+                    for b in right:
+                        cuts.append(_Cut(a, b, tag, min_tag))
+                        cuts.append(_Cut(b, a, tag, min_tag))
+        return self._add_cut(cuts)
+
+    def asymmetric_partition(
+        self,
+        src: int,
+        dst: int,
+        *,
+        tag: int = ANY_TAG,
+        min_tag: int | None = None,
+    ) -> int:
+        """Cut one direction only: ``src``'s messages to ``dst`` vanish
+        while ``dst`` can still reach ``src`` — the half-broken link
+        that makes naive failure detectors disagree. Returns a cut id
+        for :meth:`heal(cut=...) <heal>`."""
+        return self._add_cut([_Cut(src, dst, tag, min_tag)])
+
+    def _add_cut(self, cuts: list[_Cut]) -> int:
         with self._lock:
-            self._slow.pop(rank, None)
+            cut_id = self._next_cut_id
+            self._next_cut_id += 1
+            self._cuts[cut_id] = cuts
+            return cut_id
+
+    def heal(self, rank: int | None = None, *, cut: int | None = None) -> "FaultPlan":
+        """Heal sustained faults. ``heal(rank)`` clears that rank's slow
+        mark (the gray failure passed); ``heal(cut=id)`` removes one
+        partition cut; ``heal()`` with no arguments removes every
+        partition cut *and* every slow mark — the network is whole
+        again. Messages swallowed while a cut was up stay lost (real
+        links do not replay); only future sends are delivered."""
+        with self._lock:
+            if cut is not None:
+                self._cuts.pop(cut, None)
+            elif rank is not None:
+                self._slow.pop(rank, None)
+            else:
+                self._cuts.clear()
+                self._slow.clear()
         return self
 
     def kill(self, rank: int, *, after_sends: int = 0) -> "FaultPlan":
@@ -254,6 +349,16 @@ class FaultPlan:
     def is_dead(self, rank: int) -> bool:
         with self._lock:
             return rank in self._dead
+
+    def is_partitioned(self, src: int, dst: int, tag: int = 0) -> bool:
+        """Whether a ``src``→``dst`` message with ``tag`` would be
+        swallowed by an active cut right now."""
+        with self._lock:
+            return any(
+                c.blocks(src, dst, tag)
+                for cuts in self._cuts.values()
+                for c in cuts
+            )
 
     def is_slow(self, rank: int) -> bool:
         with self._lock:
@@ -391,6 +496,13 @@ class ChaosCommunicator(Communicator):
             super().send(payload, dest, tag)
         if self.plan.is_dead(dest):
             self.plan.stats.blackholed += 1
+            self._after_send()
+            return
+        if self.plan.is_partitioned(self.rank, dest, tag):
+            # the cut swallows the message; the sender cannot tell this
+            # apart from a lost packet, and the receiver's mailbox stays
+            # open (a partitioned peer is alive, just unreachable)
+            self.plan.stats.partitioned += 1
             self._after_send()
             return
         slow = self.plan.slow_for(self.rank, tag)

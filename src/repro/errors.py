@@ -178,6 +178,29 @@ class ServerOverloadedError(FanStoreError, OSError):
         self.retry_after_s = retry_after_s
 
 
+class StaleEpochError(FanStoreError, OSError):
+    """A mutating request carried a fencing token (membership view
+    epoch) older than the serving rank's — the sender is acting on a
+    pre-partition view of the cluster and must refresh before retrying.
+    The ESTALE of the store: ``filename`` names the subject path when
+    there is one, and ``server_epoch`` reports the epoch the server
+    fenced with."""
+
+    def __init__(
+        self,
+        detail: str,
+        path: str | None = None,
+        *,
+        server_epoch: int = 0,
+    ) -> None:
+        import errno as _errno
+
+        super().__init__(detail)
+        self.errno = _errno.ESTALE
+        self.filename = path
+        self.server_epoch = server_epoch
+
+
 class SelectionError(ReproError):
     """The compressor-selection algorithm received inconsistent inputs."""
 

@@ -17,14 +17,14 @@ One daemon runs per node (here: per rank of the in-process world). It
 
 Message protocol (all on ``TAG_DAEMON``; replies on caller-chosen tags):
 
-========== ==============================================  =========================
-kind        payload                                         reply
-========== ==============================================  =========================
-fetch       (path, reply_tag[, trace_ctx[, deadline]])      (ok, compressed|error)
-stat        (path, reply_tag[, trace_ctx[, deadline]])      (ok, FileRecord|None)
-write_meta  (FileRecord, reply_tag[, trace_ctx[, deadline]])  (ok, None)
-stop        —                                               —
-========== ==============================================  =========================
+=========== ====================================================  =========================
+kind        payload                                               reply
+=========== ====================================================  =========================
+fetch       (path, reply_tag[, trace_ctx[, deadline[, epoch]]])   (ok, compressed|error)
+stat        (path, reply_tag[, trace_ctx[, deadline[, epoch]]])   (ok, FileRecord|None)
+write_meta  (FileRecord, reply_tag[, trace_ctx[, deadline[, epoch]]])  (ok, None)
+stop        —                                                     —
+=========== ====================================================  =========================
 
 The optional third body element is the :mod:`repro.obs.tracing` wire
 context ``(trace_id, parent_span_id)`` — or ``None`` when the sender is
@@ -35,9 +35,15 @@ element is the request's absolute deadline (a shared
 ``time.monotonic()`` reading, see :mod:`repro.comm.deadline`): a server
 drops work whose deadline already expired instead of replying into the
 void, and sheds queue overflow with an ``(_OVERLOAD, retry_after_s)``
-reply so clients back off instead of retry-storming. Two- and
-three-element bodies (every pre-deadline sender) are served
-identically, with no deadline.
+reply so clients back off instead of retry-storming. The optional fifth
+element is the sender's *fencing token* — its membership view epoch (or
+``None`` when no detector is attached): a mutating request
+(``write_meta``) whose token is older than the server's view is
+answered with ``(_FENCED, server_epoch)`` instead of being applied, so
+a rank healing out of a minority partition cannot clobber majority
+state with decisions made under a stale view. Two-, three-, and
+four-element bodies (every pre-fencing sender) are served identically,
+unfenced.
 """
 
 from __future__ import annotations
@@ -65,6 +71,7 @@ from repro.errors import (
     RankDeadError,
     RetryExhaustedError,
     ServerOverloadedError,
+    StaleEpochError,
 )
 from repro.fanstore.backend import DiskBackend, RamBackend
 from repro.fanstore.cache import DecompressedCache
@@ -93,6 +100,13 @@ _REPLY_TAG_BASE = 0x1000
 #: so legacy callers cannot mistake it for data. The second element is
 #: the server's suggested back-off in seconds.
 _OVERLOAD = "__overloaded__"
+
+#: first element of a fenced-off mutating request's reply: the sender's
+#: fencing token (membership view epoch) was older than the server's,
+#: so the mutation was refused. The second element is the server's
+#: epoch — the sender must catch up to at least that view (rejoin,
+#: merge gossip) before the mutation can be meaningful again.
+_FENCED = "__stale_epoch__"
 
 #: load-time collectives (metadata allgather) are not on the request
 #: hot path; they get a generous fixed budget rather than the per-
@@ -146,16 +160,37 @@ class DaemonStats:
     deadline_aborts: int = 0  # client-side: exchanges abandoned at deadline
     overload_backoffs: int = 0  # overload replies received (client backed off)
     brownout_skipped_verifies: int = 0  # re-verifications skipped under load
+    fenced_rejects: int = 0  # mutations refused for carrying a stale epoch
+    stale_epoch_aborts: int = 0  # client-side: requests fenced off by a server
+    rereplications_frozen: int = 0  # convictions deferred for lack of quorum
+    reconciled_records: int = 0  # placements digest-checked by heal anti-entropy
+    duplicate_replicas_dropped: int = 0  # split-era copies GC'd on heal
+
+    #: replication-engine counters live under ``replication.<field>``
+    #: in the registry (the ISSUE-specified namespace for partition-era
+    #: metrics), while everything else keeps the legacy ``daemon.``
+    #: prefix.
+    _REPLICATION_FIELDS = (
+        "fenced_rejects",
+        "rereplications_frozen",
+        "reconciled_records",
+        "duplicate_replicas_dropped",
+    )
 
     def bind(self, metrics: MetricsRegistry) -> None:
-        """Register every field in ``metrics`` as ``daemon.<field>``,
+        """Register every field in ``metrics`` as ``daemon.<field>``
+        (``replication.<field>`` for the replication-engine counters),
         backed by this object's attributes (zero hot-path overhead:
         ``stats.retries += 1`` stays a bare int add)."""
         for name in self.__dataclass_fields__:
+            prefix = (
+                "replication" if name in self._REPLICATION_FIELDS
+                else "daemon"
+            )
             if name == "mean_time_to_repair":
-                metrics.bind_gauge(f"daemon.{name}", self, name)
+                metrics.bind_gauge(f"{prefix}.{name}", self, name)
             else:
-                metrics.bind_counter(f"daemon.{name}", self, name)
+                metrics.bind_counter(f"{prefix}.{name}", self, name)
 
 
 @dataclass(frozen=True)
@@ -243,6 +278,14 @@ class DaemonConfig:
     overload_retry_after_s: float = 0.05
     brownout_queue_depth: int | None = None
     brownout_hold_s: float = 0.5
+    #: epoch fencing: every request carries the sender's membership view
+    #: epoch, and mutating requests (``write_meta``) stamped with an
+    #: epoch older than the server's are refused with a
+    #: ``(_FENCED, server_epoch)`` reply (surfaced to the caller as
+    #: :class:`StaleEpochError`). This is what keeps a rank healing out
+    #: of a minority partition from clobbering majority state; disable
+    #: only to measure what it buys (see ``benchmarks/bench_partition``).
+    epoch_fencing: bool = True
 
 
 class FanStoreDaemon:
@@ -326,6 +369,13 @@ class FanStoreDaemon:
         self._route_lock = threading.Lock()
         self._dead_routes: dict[int, int] = {}
         self._repair_durations: list[float] = []
+        # convictions whose re-replication was frozen (no quorum at the
+        # time); heal reconciliation catches them up. Guarded by
+        # _route_lock (same membership-callback paths).
+        self._frozen_corpses: set[int] = set()
+        # corpses this rank already ran a re-replication pass for —
+        # heal catch-up must not double-stage what on_rank_dead did
+        self._rereplicated_for: set[int] = set()
 
     # -- loading ----------------------------------------------------------
 
@@ -444,6 +494,8 @@ class FanStoreDaemon:
         self._membership = detector
         detector.on_dead = self.on_rank_dead
         detector.on_alive = self.on_rank_alive
+        detector.on_isolated = self.on_isolated
+        detector.on_reconnected = self.reconcile_after_heal
         detector.verify_read = self.verification_read
         detector.join_snapshot = self.membership_snapshot
 
@@ -455,6 +507,24 @@ class FanStoreDaemon:
     def _view_epoch(self) -> int:
         det = self._membership
         return det.view.epoch if det is not None else 0
+
+    def _fence_token(self) -> int | None:
+        """The fencing token stamped on outgoing requests: this rank's
+        membership view epoch, or None when fencing is off / no detector
+        is attached (legacy senders are served unfenced)."""
+        if not self.config.epoch_fencing or self._membership is None:
+            return None
+        return self._view_epoch()
+
+    def _stale_epoch(self, epoch: int | None) -> bool:
+        """Server-side fencing check for a mutating request: True when
+        the sender stamped a view epoch older than ours. Unfenced
+        senders (no token: legacy wire forms, fencing disabled, no
+        detector) are never fenced — fencing protects against *known*
+        staleness, not missing information."""
+        if not self.config.epoch_fencing or self._membership is None:
+            return False
+        return epoch is not None and epoch < self._view_epoch()
 
     def _route_dead(self, dest: int) -> bool:
         """Whether requests to ``dest`` should short-circuit: the view
@@ -506,9 +576,23 @@ class FanStoreDaemon:
         factor. Counted in ``rereplicated_records`` and
         ``mean_time_to_repair``.
         """
+        det = self._membership
+        if det is not None and (det.isolated or not det.has_quorum()):
+            # No quorum behind this conviction: re-replicating now is
+            # how a split cluster turns into a replication storm (both
+            # sides "restoring" partitions the other side still holds).
+            # Freeze the work; heal reconciliation catches it up if the
+            # conviction survives the merged view.
+            self.stats.rereplications_frozen += 1
+            with self._route_lock:
+                self._frozen_corpses.add(rank)
+            return
         # reconcile the breaker with the view: a conviction outranks
         # whatever the latency tracker believed
         self.health.force_open(rank)
+        with self._route_lock:
+            self._frozen_corpses.discard(rank)
+            self._rereplicated_for.add(rank)
         started = time.monotonic()
         plan = self.metadata.plan_rereplication(
             rank, view.non_dead_ranks(), self.size
@@ -566,6 +650,12 @@ class FanStoreDaemon:
         those records. Ownership stays with the post-repair homes —
         handing primaries back would churn routing for no benefit."""
         self._clear_dead_route(rank)
+        with self._route_lock:
+            # a live rank owes nobody a re-replication: drop any frozen
+            # conviction and forget the completed pass so a *future*
+            # death gets a fresh one
+            self._frozen_corpses.discard(rank)
+            self._rereplicated_for.discard(rank)
         # re-admission half-opens the breaker: the first fetch at the
         # rejoiner is a probe, not a leap of faith
         self.health.half_open(rank)
@@ -574,6 +664,78 @@ class FanStoreDaemon:
                 continue
             if rec.partition_id % self.size == rank and rec.home_rank != rank:
                 self.metadata.add_replica(rec.path, rank)
+
+    def on_isolated(self) -> None:
+        """Membership callback: this rank lost quorum (minority side of
+        a partition). Nothing to tear down — reads keep serving from
+        local partitions and the degraded shared-FS floor, and the
+        detector itself freezes convictions; this hook exists so
+        operators see the transition in the log stream."""
+        _LOG.warning(
+            "rank %d: ISOLATED — no membership quorum; convictions and "
+            "re-replication frozen, reads continue degraded", self.rank,
+        )
+
+    def reconcile_after_heal(self, view: ClusterView) -> None:
+        """Membership callback: this rank regained quorum after an
+        isolation episode — the partition healed and the gossip views
+        merged. Anti-entropy pass:
+
+        1. the negative route cache and open circuit breakers are reset
+           (the epoch moved and the links are plausibly back — probe,
+           don't assume);
+        2. convictions frozen during isolation are caught up *if* the
+           merged view still holds them DEAD (a rank the majority
+           revived owes nobody a re-replication);
+        3. backend copies this rank holds but is neither home for nor an
+           announced replica of — split-era duplicates and old promoted
+           copies — are garbage-collected;
+        4. every record this rank is responsible for is digest-verified
+           (and repaired through the failover ladder) by one scrubber
+           pass, so divergent placements reconverge digest-clean.
+
+        Counted in ``replication.reconciled_records`` /
+        ``replication.duplicate_replicas_dropped``; the whole pass is
+        one ``daemon.heal.reconcile`` trace span.
+        """
+        with self.tracer.maybe_root("daemon.heal.reconcile",
+                                    epoch=view.epoch) as span:
+            with self._route_lock:
+                self._dead_routes.clear()
+                frozen = sorted(self._frozen_corpses)
+                self._frozen_corpses.clear()
+            for peer in self.health.open_peers():
+                self.health.half_open(peer)
+            caught_up = 0
+            for rank in frozen:
+                with self._route_lock:
+                    done = rank in self._rereplicated_for
+                if done or view.state(rank) != RankState.DEAD:
+                    continue
+                self.on_rank_dead(rank, view)
+                caught_up += 1
+            dropped = 0
+            for rec in self.metadata.records():
+                if rec.is_broadcast or rec.home_rank == self.rank:
+                    continue
+                if rec.path not in self.backend:
+                    continue
+                if self.rank in self.metadata.replica_ranks(rec.path):
+                    continue
+                if self.backend.discard(rec.path):
+                    self.cache.discard(rec.path)
+                    dropped += 1
+            self.stats.duplicate_replicas_dropped += dropped
+            # lazy import: repro.fanstore.scrub imports this module
+            from repro.fanstore.scrub import Scrubber
+
+            report = Scrubber(self, repair=True).run()
+            self.stats.reconciled_records += report.scanned
+            span.tag(
+                caught_up=caught_up,
+                duplicates_dropped=dropped,
+                scrub_clean=report.clean,
+            )
 
     def verification_read(self, joiner: int) -> bool:
         """Promotion gate (peer side): fetch one record the joiner must
@@ -613,18 +775,29 @@ class FanStoreDaemon:
     ) -> None:
         """Joiner side: adopt a live peer's metadata wholesale (it is
         authoritative — it reflects any re-homing done while this rank
-        was dead), then announce this rank's physically-held copies as
-        replicas."""
+        was dead or partitioned away), then announce the copies of this
+        rank's own round-robin partitions it physically holds as
+        replicas — the *same* deterministic rule every peer applies in
+        :meth:`on_rank_alive`, so both sides of the announcement
+        converge without a message. Copies held beyond that rule
+        (split-era duplicates, old degraded-read promotions) are
+        deliberately *not* announced; :meth:`reconcile_after_heal`
+        garbage-collects them."""
         records, replicas = snapshot
         for rec in records:
             self.metadata.insert(rec)
-        for path, holders in replicas.items():
-            for holder in holders:
-                self.metadata.add_replica(path, holder)
+            # Replace, not union: a partition survivor's own stale
+            # entries (e.g. itself as holder of a duty re-homed during
+            # the split) must not outlive the adoption.
+            self.metadata.set_replicas(rec.path, replicas.get(rec.path, ()))
         for rec in records:
             if rec.is_broadcast:
                 continue
-            if rec.home_rank != self.rank and rec.path in self.backend:
+            if (
+                rec.partition_id % self.size == self.rank
+                and rec.home_rank != self.rank
+                and rec.path in self.backend
+            ):
                 self.metadata.add_replica(rec.path, self.rank)
 
     def load_rejoin(self, prepared: PreparedDataset) -> None:
@@ -738,7 +911,8 @@ class FanStoreDaemon:
         outlives misbehaving clients (it answers to every peer, not
         just the sender). The optional third body element is the
         requester's trace context (or None), the optional fourth its
-        absolute deadline; anything past that is malformed.
+        absolute deadline, the optional fifth its fencing token (a view
+        epoch, or None); anything past that is malformed.
         """
         payload, source, _tag = msg
         try:
@@ -756,12 +930,17 @@ class FanStoreDaemon:
         except (TypeError, ValueError):
             self.stats.malformed_requests += 1
             return False
-        if len(rest) > 2 or not isinstance(reply_tag, int) or reply_tag < 0:
+        if len(rest) > 3 or not isinstance(reply_tag, int) or reply_tag < 0:
             self.stats.malformed_requests += 1
             return False
         trace_wire = rest[0] if rest else None
         deadline_at = wire_deadline(rest[1]) if len(rest) > 1 else None
-        entry = (kind, subject, reply_tag, source, trace_wire, deadline_at)
+        epoch = rest[2] if len(rest) > 2 else None
+        if epoch is not None and not isinstance(epoch, int):
+            self.stats.malformed_requests += 1
+            return False
+        entry = (kind, subject, reply_tag, source, trace_wire, deadline_at,
+                 epoch)
         shed = queue.push(entry, deadline_at)
         if shed:
             # shedding is the overload signal: enter brownout
@@ -769,7 +948,7 @@ class FanStoreDaemon:
                 time.monotonic() + self.config.brownout_hold_s
             )
         retry_after = self.config.overload_retry_after_s
-        for _, _, victim_tag, victim_source, _, _ in shed:
+        for _, _, victim_tag, victim_source, _, _, _ in shed:
             self.stats.shed_requests += 1
             try:
                 self.comm.send(
@@ -783,7 +962,9 @@ class FanStoreDaemon:
         """Serve one admitted request; False ends the service loop."""
         comm = self.comm
         assert comm is not None
-        kind, subject, reply_tag, source, trace_wire, deadline_at = entry
+        kind, subject, reply_tag, source, trace_wire, deadline_at, epoch = (
+            entry
+        )
         if deadline_at is not None and time.monotonic() >= deadline_at:
             # the requester has already timed out and walked away:
             # serving — or even refusing — would be work for nobody
@@ -824,8 +1005,18 @@ class FanStoreDaemon:
                     else:
                         comm.send((True, rec), source, reply_tag)
                 else:  # write_meta
-                    self.metadata.insert(subject)
-                    comm.send((True, None), source, reply_tag)
+                    if self._stale_epoch(epoch):
+                        # a mutation decided under a pre-partition view:
+                        # fence it off rather than let a healed minority
+                        # clobber majority state
+                        self.stats.fenced_rejects += 1
+                        span.tag(fenced=True)
+                        comm.send(
+                            (_FENCED, self._view_epoch()), source, reply_tag
+                        )
+                    else:
+                        self.metadata.insert(subject)
+                        comm.send((True, None), source, reply_tag)
         except (CommClosedError, CommError):
             # replying to a torn-down world (or after our own
             # injected death) ends the service loop — a crashed
@@ -934,6 +1125,9 @@ class FanStoreDaemon:
                         body, reply_tag,
                         None if ctx is None else ctx.as_wire(),
                         time.monotonic() + attempt_timeout,
+                        # fencing token re-read per attempt: a view that
+                        # advances mid-ladder fences with the fresh epoch
+                        self._fence_token(),
                     )
                     comm.send((kind, wire_body), dest, TAG_DAEMON)
                     reply = comm.recv(dest, reply_tag, timeout=attempt_timeout)
@@ -943,6 +1137,23 @@ class FanStoreDaemon:
                 last_exc = exc
                 self.health.failure(dest)
                 continue
+            if (
+                isinstance(reply, tuple) and len(reply) == 2
+                and reply[0] == _FENCED
+            ):
+                # a stale fencing token is not retryable: the view this
+                # side acted under is history, and only a membership
+                # catch-up (gossip merge, rejoin) can change that
+                self.stats.stale_epoch_aborts += 1
+                raise StaleEpochError(
+                    f"rank {self.rank}: {kind} request to rank {dest} "
+                    f"fenced off — our view epoch {self._view_epoch()} is "
+                    f"older than the server's {reply[1]}",
+                    path,
+                    server_epoch=(
+                        reply[1] if isinstance(reply[1], int) else 0
+                    ),
+                )
             if (
                 isinstance(reply, tuple) and len(reply) == 2
                 and reply[0] == _OVERLOAD
@@ -1196,6 +1407,7 @@ class FanStoreDaemon:
                 norm, reply_tag,
                 None if ctx is None else ctx.as_wire(),
                 time.monotonic() + budget,
+                self._fence_token(),
             )
             t0 = time.perf_counter()
             comm.send(("fetch", wire_body), home, TAG_DAEMON)

@@ -154,6 +154,18 @@ class MetadataTable:
         with self._lock:
             self._replicas.setdefault(norm, set()).add(rank)
 
+    def set_replicas(self, path: str, ranks: Iterable[int]) -> None:
+        """Replace ``path``'s replica set wholesale. Snapshot adoption
+        uses this: the serving peer's map is authoritative, and a union
+        would resurrect stale split-era holders."""
+        norm = normalize(path)
+        with self._lock:
+            holders = set(ranks)
+            if holders:
+                self._replicas[norm] = holders
+            else:
+                self._replicas.pop(norm, None)
+
     def replica_ranks(self, path: str) -> tuple[int, ...]:
         """Ranks holding replicas of ``path``, ascending (deterministic
         failover order; may include the home rank — callers skip it)."""

@@ -298,6 +298,14 @@ class FanStore(ServiceMixin):
         :meth:`~repro.obs.tracing.Tracer.export_jsonl`."""
         return self.daemon.tracer
 
+    @property
+    def isolated(self) -> bool:
+        """Whether this rank is on the minority side of a network
+        partition (membership ISOLATED mode: convictions, re-replication
+        and writer election frozen; reads keep serving degraded). Always
+        False without a membership detector."""
+        return self.membership is not None and self.membership.isolated
+
     def stats(self) -> DaemonStats:
         """The legacy counter bag.
 

@@ -160,13 +160,16 @@ class DataParallelTrainer:
         """Whether this rank writes checkpoints and the log: rank 0
         normally, the lowest non-DEAD rank once a membership view says
         rank 0 (or whoever preceded us) is gone — a dead writer must
-        not orphan the run's checkpoints."""
+        not orphan the run's checkpoints. Quorum-gated: the detector's
+        :meth:`~repro.fanstore.membership.FailureDetector.elect_writer`
+        returns None on the minority side of a partition, so an
+        ISOLATED rank never writes — two sides of a split must not
+        each elect a writer and clobber the checkpoint stream."""
         if self.comm is None:
             return True
         if self.membership is not None:
-            alive = self.membership.view.non_dead_ranks()
-            if alive:
-                return self.comm.rank == min(alive)
+            writer = self.membership.elect_writer()
+            return writer is not None and self.comm.rank == writer
         return self.comm.rank == 0
 
     def _save_checkpoint(self, epoch: int) -> None:

@@ -20,7 +20,7 @@ CONFORMING = textwrap.dedent(
                 if kind not in ("fetch", "stat"):
                     continue
                 subject, reply_tag, *rest = body
-                if len(rest) > 2:
+                if len(rest) > 3:
                     continue
 
         def _request(self, kind, body, dest):
@@ -31,6 +31,7 @@ CONFORMING = textwrap.dedent(
                 reply_tag,
                 None if ctx is None else ctx.as_wire(),
                 self._clock() + self.timeout,
+                self._fence_token(),
             )
             self.comm.send((kind, wire_body), dest, TAG_DAEMON)
             return self.comm.recv(dest, reply_tag, timeout=self.timeout)
@@ -76,7 +77,7 @@ class TestProtocolConformance:
         src = CONFORMING.replace(
             "subject, reply_tag, *rest = body",
             "subject, reply_tag = body",
-        ).replace("if len(rest) > 2:", "if reply_tag < 0:")
+        ).replace("if len(rest) > 3:", "if reply_tag < 0:")
         report = lint_tree({"fanstore/daemon.py": src})
         findings = rules_of(report, "protocol-conformance")
         assert len(findings) == 1
@@ -84,24 +85,24 @@ class TestProtocolConformance:
 
     def test_oversized_wire_body_flagged(self, lint_tree):
         src = CONFORMING.replace(
-            "self._clock() + self.timeout,",
-            "self._clock() + self.timeout,\n            self.rank,",
+            "self._fence_token(),",
+            "self._fence_token(),\n            self.rank,",
         )
         report = lint_tree({"fanstore/daemon.py": src})
         messages = [f.message for f in rules_of(report, "protocol-conformance")]
-        # the 5-tuple is flagged, and with it the deadline 4-tuple is missing
+        # the 6-tuple is flagged, and with it the fenced 5-tuple is missing
         assert len(messages) == 2
-        assert any("5 fields" in m for m in messages)
-        assert any("deadline-stamped 4-tuple" in m for m in messages)
+        assert any("6 fields" in m for m in messages)
+        assert any("epoch-fenced 5-tuple" in m for m in messages)
 
-    def test_missing_deadline_form_flagged(self, lint_tree):
+    def test_missing_fenced_form_flagged(self, lint_tree):
         src = CONFORMING.replace(
-            "            self._clock() + self.timeout,\n", ""
+            "            self._fence_token(),\n", ""
         )
         report = lint_tree({"fanstore/daemon.py": src})
         findings = rules_of(report, "protocol-conformance")
         assert len(findings) == 1
-        assert "deadline-stamped 4-tuple" in findings[0].message
+        assert "epoch-fenced 5-tuple" in findings[0].message
 
     def test_waiver_applies(self, lint_tree):
         src = CONFORMING + textwrap.dedent(

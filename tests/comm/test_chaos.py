@@ -154,6 +154,123 @@ class TestRankDeath:
             world.comm(0).barrier(timeout=0.3)
 
 
+class TestPartition:
+    def test_messages_across_the_cut_are_swallowed(self):
+        plan = FaultPlan()
+        world = ChaosWorld(3, plan)
+        plan.partition([0, 1], [2])
+        world.comm(0).send("lost", 2, tag=1)
+        with pytest.raises(CommError):
+            world.comm(2).recv(source=0, tag=1, timeout=0.1)
+        assert plan.stats.partitioned == 1
+        # same-side traffic is untouched
+        world.comm(0).send("kept", 1, tag=1)
+        assert world.comm(1).recv(source=0, tag=1, timeout=2) == "kept"
+
+    def test_heal_resumes_delivery_without_replay(self):
+        plan = FaultPlan()
+        world = ChaosWorld(2, plan)
+        cut = plan.partition([0], [1])
+        world.comm(0).send("swallowed", 1, tag=1)
+        plan.heal(cut=cut)
+        world.comm(0).send("after", 1, tag=1)
+        # the split-era message stays lost; only post-heal sends arrive
+        assert world.comm(1).recv(source=0, tag=1, timeout=2) == "after"
+        with pytest.raises(CommError):
+            world.comm(1).recv(source=0, tag=1, timeout=0.1)
+
+    def test_asymmetric_cut_blocks_one_direction_only(self):
+        plan = FaultPlan()
+        world = ChaosWorld(2, plan)
+        plan.asymmetric_partition(0, 1)
+        world.comm(0).send("vanishes", 1, tag=1)
+        with pytest.raises(CommError):
+            world.comm(1).recv(source=0, tag=1, timeout=0.1)
+        world.comm(1).send("heard", 0, tag=1)
+        assert world.comm(0).recv(source=1, tag=1, timeout=2) == "heard"
+
+    def test_heal_by_cut_id_leaves_other_cuts_up(self):
+        plan = FaultPlan()
+        world = ChaosWorld(3, plan)
+        cut_a = plan.asymmetric_partition(0, 1)
+        plan.asymmetric_partition(0, 2)
+        plan.heal(cut=cut_a)
+        assert not plan.is_partitioned(0, 1)
+        assert plan.is_partitioned(0, 2)
+        plan.heal()
+        assert not plan.is_partitioned(0, 2)
+
+    def test_parked_recv_survives_partition_and_heal(self):
+        """A recv parked across the cut is *not* woken by partition or
+        heal — the peer is alive, just unreachable — and completes once
+        a post-heal send arrives. No error leaks into the parked
+        thread, and nothing stays parked after heal."""
+        plan = FaultPlan()
+        world = ChaosWorld(2, plan)
+        comm = world.comm(1)
+        got: dict[str, object] = {}
+
+        def park() -> None:
+            got["msg"] = comm.recv(source=0, tag=1, timeout=30)
+
+        thread = threading.Thread(target=park, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        cut = plan.partition([0], [1])
+        world.comm(0).send("split-era", 1, tag=1)  # swallowed
+        time.sleep(0.05)
+        assert thread.is_alive()  # still parked: partition is not death
+        plan.heal(cut=cut)
+        time.sleep(0.05)
+        assert thread.is_alive()  # heal replays nothing
+        world.comm(0).send("post-heal", 1, tag=1)
+        thread.join(5)
+        assert not thread.is_alive()
+        assert got["msg"] == "post-heal"
+
+    def test_kill_during_partition_still_wakes_parked_recv(self):
+        """Rank death takes precedence over an active cut: a parked
+        recv on the dying rank is woken with RankDeadError even while
+        partitioned away from its peer."""
+        plan = FaultPlan()
+        world = ChaosWorld(2, plan)
+        comm = world.comm(1)
+        caught: dict[str, BaseException] = {}
+
+        def park() -> None:
+            try:
+                comm.recv(source=0, tag=1, timeout=30)
+            except BaseException as exc:  # noqa: BLE001 - asserted below
+                caught["exc"] = exc
+
+        thread = threading.Thread(target=park, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        plan.partition([0], [1])
+        world.kill(1)
+        thread.join(5)
+        assert not thread.is_alive()
+        assert isinstance(caught["exc"], RankDeadError)
+
+    def test_blackhole_beats_partition_accounting(self):
+        """Sends to a dead rank across a cut count as blackholed, not
+        partitioned — death is checked first."""
+        plan = FaultPlan()
+        world = ChaosWorld(2, plan)
+        plan.partition([0], [1])
+        world.kill(1)
+        world.comm(0).send("void", 1, tag=1)
+        assert plan.stats.blackholed == 1
+        assert plan.stats.partitioned == 0
+
+    def test_partition_validates_groups(self):
+        plan = FaultPlan()
+        with pytest.raises(ValueError):
+            plan.partition([0, 1])
+        with pytest.raises(ValueError):
+            plan.partition([0, 1], [1, 2])
+
+
 class TestRunParallelIntegration:
     def test_chaos_world_drops_into_the_launcher(self):
         plan = FaultPlan(seed=3).drop(tag=2, times=1)

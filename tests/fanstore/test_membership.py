@@ -42,6 +42,12 @@ CFG = MembershipConfig(
     heartbeat_interval=1.0, suspect_after=3.0, dead_after=10.0
 )
 
+#: same thresholds with quorum awareness off — for tests that examine
+#: conviction mechanics from a rank that cannot hear a majority.
+NO_QUORUM = MembershipConfig(
+    heartbeat_interval=1.0, suspect_after=3.0, dead_after=10.0, quorum=False
+)
+
 
 def _pair(world_size: int = 2, **kw):
     """A world plus one fake-clocked detector per rank."""
@@ -110,6 +116,53 @@ class TestClusterView:
         copy = view.clone()
         copy.set_state(1, RankState.DEAD, bump_epoch=True)
         assert view.state(1) == RankState.ALIVE and view.epoch == 0
+
+
+class TestMergeTotalOrder:
+    """The documented merge total order: lexicographic
+    ``(version, severity)`` per rank, max epochs — except equal-epoch
+    parallel histories whose DEAD sets diverge, which bump past both."""
+
+    def test_equal_epoch_dead_divergence_bumps_past_both(self):
+        a = ClusterView(4)
+        b = ClusterView(4)
+        a.set_state(1, RankState.DEAD, bump_epoch=True)  # a: epoch 1
+        b.set_state(2, RankState.DEAD, bump_epoch=True)  # b: epoch 1
+        a2, b2 = a.clone(), b.clone()
+        a.merge(b)
+        b2.merge(a2)
+        # two histories at epoch 1 with different corpses must not share
+        # epoch 1 after merging — everything keyed by epoch would treat
+        # stale state as current
+        assert a.epoch == b2.epoch == 2
+        assert a == b2  # and the bump is symmetric (commutative merge)
+        assert a.dead_ranks() == [1, 2]
+
+    def test_equal_epoch_suspect_churn_never_bumps(self):
+        a = ClusterView(3)
+        b = ClusterView(3)
+        a.set_state(1, RankState.SUSPECT)
+        b.set_state(2, RankState.SUSPECT)
+        a.merge(b)
+        assert a.epoch == 0  # no DEAD involved: plain max()
+
+    def test_unequal_epochs_take_the_max_without_extra_bump(self):
+        a = ClusterView(3)
+        b = ClusterView(3)
+        b.set_state(1, RankState.DEAD, bump_epoch=True)  # b: epoch 1
+        a.merge(b)
+        assert a.epoch == 1  # a DEAD arrived, but the epochs differed
+        assert a.state(1) == RankState.DEAD
+
+    def test_merge_is_idempotent(self):
+        a = ClusterView(3)
+        b = ClusterView(3)
+        a.set_state(1, RankState.DEAD, bump_epoch=True)
+        b.set_state(2, RankState.DEAD, bump_epoch=True)
+        a.merge(b)
+        epoch = a.epoch
+        assert a.merge(b) == []  # replaying the same gossip: no change
+        assert a.epoch == epoch  # and no second divergence bump
 
 
 class TestRingSuccessor:
@@ -215,8 +268,11 @@ class TestSimultaneousDeath:
         world = World(3)
         clock = FakeClock()
         convicted = []
+        # quorum off: a rank that hears *nobody* is a minority of one
+        # and would (correctly) freeze — this test is about conviction
+        # ordering, not partition tolerance
         det0 = FailureDetector(
-            world.comm(0), CFG, clock=clock,
+            world.comm(0), NO_QUORUM, clock=clock,
             on_dead=lambda r, v: convicted.append(r),
         )
         clock.advance(CFG.dead_after)
@@ -250,6 +306,236 @@ class TestSimultaneousDeath:
         assert det1.view.state(2) == RankState.DEAD
         assert det1.view.epoch == det0.view.epoch == 1
         assert det0.view == det1.view  # converged
+
+
+class TestQuorum:
+    """Quorum awareness: a minority component freezes convictions,
+    epoch bumps, and writer election instead of amputating the
+    majority. (2-rank worlds keep fail-fast conviction — see
+    TestThresholdEdges, which runs with quorum on.)"""
+
+    def test_minority_freezes_convictions(self):
+        world = World(3)
+        clock = FakeClock()
+        convicted = []
+        det0 = FailureDetector(
+            world.comm(0), CFG, clock=clock,
+            on_dead=lambda r, v: convicted.append(r),
+        )
+        clock.advance(CFG.dead_after)  # rank 0 hears nobody: minority of 1
+        view = det0.step()
+        assert convicted == []
+        assert view.dead_ranks() == []
+        assert view.epoch == 0  # no conviction, no epoch churn
+        # the overdue corpses are demoted to SUSPECT, not DEAD
+        assert view.state(1) == RankState.SUSPECT
+        assert view.state(2) == RankState.SUSPECT
+        assert det0.stats.quorum_denied_convictions == 2
+        assert not det0.has_quorum()
+        assert det0.elect_writer() is None  # a minority never writes
+
+    def test_denied_conviction_counted_once_per_episode(self):
+        world = World(3)
+        clock = FakeClock()
+        det0 = FailureDetector(world.comm(0), CFG, clock=clock)
+        clock.advance(CFG.dead_after)
+        det0.step()
+        clock.advance(1.0)
+        det0.step()  # still overdue, still frozen: no double count
+        assert det0.stats.quorum_denied_convictions == 2
+
+    def test_suspect_peer_cannot_vouch_for_quorum(self):
+        """Regression: with both peers long silent but *staggered*, the
+        later one must not pad quorum for convicting the earlier one.
+        Reachability (suspect_after) is stricter than conviction
+        (dead_after): a suspect rank is not a quorum voucher."""
+        world = World(3)
+        clock = FakeClock()
+        convicted = []
+        det0 = FailureDetector(
+            world.comm(0), CFG, clock=clock,
+            on_dead=lambda r, v: convicted.append(r),
+        )
+        clock.advance(CFG.dead_after)
+        # rank 2 was heard more recently than rank 1 — but still past
+        # the suspicion threshold, so it cannot vouch for a majority
+        det0._last_heard[2] = clock.now - CFG.suspect_after - 0.1
+        view = det0.step()
+        assert convicted == []
+        assert view.dead_ranks() == []
+        assert view.epoch == 0
+        assert det0.stats.quorum_denied_convictions == 1  # rank 1 only
+        assert not det0.has_quorum()
+
+    def test_majority_component_still_convicts(self):
+        """Hearing one of two peers is a majority (2 of 3): the silent
+        third is convicted normally."""
+        world = World(3)
+        clock = FakeClock()
+        convicted = []
+        det1 = FailureDetector(
+            world.comm(1), CFG, clock=clock,
+            on_dead=lambda r, v: convicted.append(r),
+        )
+        clock.advance(CFG.dead_after)
+        det1._last_heard[2] = clock.now  # rank 2 is reachable; rank 0 is not
+        view = det1.step()
+        assert det1.has_quorum()
+        assert view.state(0) == RankState.DEAD
+        assert convicted == [0]
+        assert view.epoch == 1
+        # and the writer moves past the corpse: lowest *non-DEAD* rank
+        assert det1.elect_writer() == 1
+
+    def test_healthy_cluster_elects_lowest_rank(self):
+        world, clock, dets = _pair(3)
+        assert [d.elect_writer() for d in dets] == [0, 0, 0]
+
+
+class TestIsolation:
+    """The ISOLATED mode edge: hysteresis both ways, liveness clocks
+    reset on exit, and the join/promotion endpoints refuse while the
+    mode is up."""
+
+    def _isolate(self, det, clock):
+        """Drive ``det`` (hearing nobody) into ISOLATED mode."""
+        clock.advance(CFG.dead_after)
+        det.step()  # minority observed: damper arming
+        assert not det.isolated
+        clock.advance(CFG.isolation_damper)
+        det.step()  # minority persisted: mode entered
+        assert det.isolated
+
+    def test_entry_needs_the_damper_to_elapse(self):
+        world = World(3)
+        clock = FakeClock()
+        events = []
+        det0 = FailureDetector(
+            world.comm(0), CFG, clock=clock,
+            on_isolated=lambda: events.append("isolated"),
+            on_reconnected=lambda v: events.append("reconnected"),
+        )
+        self._isolate(det0, clock)
+        assert events == ["isolated"]
+        assert det0.stats.isolated_entries == 1
+        assert det0.elect_writer() is None
+
+    def test_exit_needs_quorum_to_persist_and_resets_clocks(self):
+        world = World(3)
+        clock = FakeClock()
+        events = []
+        det0 = FailureDetector(
+            world.comm(0), CFG, clock=clock,
+            on_isolated=lambda: events.append("isolated"),
+            on_reconnected=lambda v: events.append(v),
+        )
+        self._isolate(det0, clock)
+        det0._last_heard[1] = clock.now  # quorum contact returns
+        det0.step()
+        assert det0.isolated  # hysteresis: not out yet
+        clock.advance(CFG.isolation_damper)
+        det0._last_heard[1] = clock.now
+        det0.step()
+        assert not det0.isolated
+        assert det0.stats.isolated_exits == 1
+        assert len(events) == 2 and isinstance(events[1], ClusterView)
+        # nothing heard during the cut may count toward a conviction:
+        # every liveness clock restarts at the exit instant
+        assert det0._last_heard[2] == clock.now
+
+    def test_short_minority_episode_is_damped(self):
+        world = World(3)
+        clock = FakeClock()
+        det0 = FailureDetector(world.comm(0), CFG, clock=clock)
+        clock.advance(CFG.dead_after)
+        det0.step()  # minority observed, damper arming
+        det0._last_heard[1] = clock.now  # link back before the damper fires
+        det0._last_heard[2] = clock.now
+        det0.step()
+        assert det0.stats.damped_flaps == 1
+        assert det0.stats.isolated_entries == 0
+        assert not det0.isolated
+
+    def test_isolated_peer_refuses_join_and_promotion(self):
+        world = World(3)
+        clock = FakeClock()
+        det0 = FailureDetector(
+            world.comm(0), CFG, clock=clock,
+            join_snapshot=lambda: {"records": 1},
+        )
+        self._isolate(det0, clock)
+        joiner = FailureDetector(world.comm(1), CFG, clock=clock)
+        errors = []
+
+        def _joiner():
+            try:
+                joiner.request_join(0)
+            except MembershipError as exc:
+                errors.append(exc)
+            try:
+                joiner.request_promotion(0)
+            except MembershipError as exc:
+                errors.append(exc)
+
+        t = threading.Thread(target=_joiner)
+        t.start()
+        for _ in range(200):
+            det0.step()
+            t.join(timeout=0.01)
+            if not t.is_alive():
+                break
+        assert not t.is_alive()
+        assert len(errors) == 2
+        assert "isolated" in str(errors[0]) and "isolated" in str(errors[1])
+        assert det0.stats.joins_served == 0
+        assert det0.stats.promotions == 0
+
+
+class TestFlapDamper:
+    CFG_DAMP = MembershipConfig(
+        heartbeat_interval=1.0, suspect_after=3.0, dead_after=10.0,
+        flap_damper=5.0, flap_window=100.0,
+    )
+
+    def test_flaps_raise_the_conviction_threshold(self):
+        """One recorded flap buys dead_after + flap_damper of silence
+        before conviction — distrust the flapping link's silences
+        instead of re-replicating on each of them."""
+        world = World(2)
+        clock = FakeClock()
+        convicted = []
+        det0 = FailureDetector(
+            world.comm(0), self.CFG_DAMP, clock=clock,
+            on_dead=lambda r, v: convicted.append(r),
+        )
+        det1 = FailureDetector(world.comm(1), self.CFG_DAMP, clock=clock)
+        clock.advance(self.CFG_DAMP.suspect_after)
+        det0.step()  # rank 1 stalls into SUSPECT
+        det1.step()  # …and wakes up: heartbeat
+        det0.step()  # recovery — one flap on the books
+        assert det0.stats.recoveries == 1
+        clock.advance(self.CFG_DAMP.dead_after)  # base threshold reached
+        assert det0.step().state(1) == RankState.SUSPECT  # damped: not yet
+        assert convicted == []
+        clock.advance(self.CFG_DAMP.flap_damper)  # raised threshold reached
+        assert det0.step().state(1) == RankState.DEAD
+        assert convicted == [1]
+
+    def test_threshold_capped_at_four_dead_after(self):
+        """A truly dead flapper is still convicted in bounded time."""
+        world = World(2)
+        clock = FakeClock()
+        det0 = FailureDetector(world.comm(0), self.CFG_DAMP, clock=clock)
+        det0._flaps[1] = [0.0] * 100
+        assert (det0._conviction_threshold(1, 0.0)
+                == 4 * self.CFG_DAMP.dead_after)
+
+    def test_damper_off_keeps_base_threshold(self):
+        world = World(2)
+        clock = FakeClock()
+        det0 = FailureDetector(world.comm(0), CFG, clock=clock)
+        det0._flaps[1] = [0.0] * 100  # ignored: flap_damper == 0
+        assert det0._conviction_threshold(1, 0.0) == CFG.dead_after
 
 
 class TestRejoinHandshake:
@@ -473,3 +759,56 @@ class TestNegativeRouteCache:
         daemon = FanStoreDaemon()
         daemon._note_dead_route(0)
         assert not daemon._route_dead(0)
+
+
+class _SplitStub(_StubDetector):
+    """A detector stub stuck on the minority side of a partition."""
+
+    isolated = True
+
+    def has_quorum(self) -> bool:
+        return False
+
+
+class TestSnapshotAdoption:
+    """``apply_membership_snapshot`` treats the peer's replica map as
+    authoritative: a partition survivor's own stale entries must not
+    outlive the adoption, and only the deterministic round-robin rule
+    is self-announced on top."""
+
+    def test_stale_self_replica_is_replaced(self):
+        # Split-era state: rank 2 still believes it replicates a
+        # partition-1 file whose replica duty the majority re-homed.
+        daemon = FanStoreDaemon(World(3).comm(2))
+        daemon.metadata.insert(_record("train/a", home=1, partition=1))
+        daemon.metadata.add_replica("train/a", 2)
+        daemon.backend.put("train/a", b"x" * 4)
+        merged = _record("train/a", home=0, partition=1)
+        daemon.apply_membership_snapshot(([merged], {"train/a": (1,)}))
+        assert daemon.metadata.get("train/a").home_rank == 0
+        assert daemon.metadata.replica_ranks("train/a") == (1,)
+
+    def test_own_partition_copies_are_self_announced(self):
+        daemon = FanStoreDaemon(World(3).comm(2))
+        mine = _record("train/b", home=0, partition=2)  # 2 % 3 == rank
+        daemon.backend.put("train/b", b"y" * 4)
+        daemon.apply_membership_snapshot(([mine], {"train/b": (1,)}))
+        assert daemon.metadata.replica_ranks("train/b") == (1, 2)
+
+    def test_copies_not_physically_held_are_not_announced(self):
+        daemon = FanStoreDaemon(World(3).comm(2))
+        mine = _record("train/c", home=0, partition=2)
+        daemon.apply_membership_snapshot(([mine], {}))
+        assert daemon.metadata.replica_ranks("train/c") == ()
+
+
+class TestConvictionFreeze:
+    def test_isolated_daemon_freezes_rereplication(self):
+        daemon = FanStoreDaemon(World(3).comm(0))
+        daemon._membership = _SplitStub(ClusterView(3))
+        view = ClusterView(3)
+        view.set_state(2, RankState.DEAD, bump_epoch=True)
+        daemon.on_rank_dead(2, view)
+        assert daemon.stats.rereplications_frozen == 1
+        assert daemon.stats.rereplicated_records == 0
+        assert 2 in daemon._frozen_corpses

@@ -135,3 +135,22 @@ class TestLocalityAndMerge:
         table.insert(rec("b", size=60))
         assert table.total_original_bytes() == 160
         assert table.total_compressed_bytes() == 80
+
+
+class TestReplicaSets:
+    def test_add_unions_and_set_replaces(self):
+        table = MetadataTable()
+        table.insert(rec("a/x"))
+        table.add_replica("a/x", 2)
+        table.add_replica("a/x", 1)
+        assert table.replica_ranks("a/x") == (1, 2)
+        table.set_replicas("a/x", (0, 3))
+        assert table.replica_ranks("a/x") == (0, 3)
+
+    def test_set_replicas_empty_clears_the_entry(self):
+        table = MetadataTable()
+        table.insert(rec("a/x"))
+        table.add_replica("a/x", 2)
+        table.set_replicas("a/x", ())
+        assert table.replica_ranks("a/x") == ()
+        assert table.replica_count() == 0
