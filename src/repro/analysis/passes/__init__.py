@@ -13,6 +13,7 @@ from repro.analysis.passes.catalogue import MetricCataloguePass
 from repro.analysis.passes.deadline import DeadlinePropagationPass
 from repro.analysis.passes.deprecation import DeprecatedFacadePass
 from repro.analysis.passes.determinism import DeterminismPass
+from repro.analysis.passes.durability import DurableWritePass
 from repro.analysis.passes.errors import ErrorConventionsPass
 from repro.analysis.passes.lock_order import LockOrderPass
 from repro.analysis.passes.protocol import ProtocolConformancePass
@@ -22,6 +23,7 @@ __all__ = [
     "DeadlinePropagationPass",
     "DeprecatedFacadePass",
     "DeterminismPass",
+    "DurableWritePass",
     "ErrorConventionsPass",
     "LockOrderPass",
     "MetricCataloguePass",
@@ -38,6 +40,7 @@ def all_passes() -> list[LintPass]:
         DeadlinePropagationPass(),
         ErrorConventionsPass(),
         DeterminismPass(),
+        DurableWritePass(),
         MetricCataloguePass(),
         DeprecatedFacadePass(),
     ]

@@ -24,7 +24,7 @@ from typing import Iterable
 from repro.analysis.core import Finding, LintPass, Project, SourceFile
 
 #: modules under the seeded-replay contract
-_SCOPE_RE = re.compile(r"(chaos|corrupt|simnet)")
+_SCOPE_RE = re.compile(r"(chaos|corrupt|simnet|crash)")
 
 _SEEDED_FACTORIES = {"Random", "SystemRandom", "seed"}
 

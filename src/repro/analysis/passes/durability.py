@@ -1,0 +1,97 @@
+"""*durable-write*: store files are mutated only through the
+atomic-apply helper.
+
+A plain ``open(path, "wb")`` (or ``.write_bytes`` / a bare
+``os.rename``) tears under a crash: a reader — or the next incarnation
+of this very rank — can see half the bytes behind the final name, and
+PR 2's integrity layer can only *detect* that, not roll it forward.
+:mod:`repro.fanstore.journal` owns the one blessed mutation sequence
+(tmp + fsync + rename + parent-dir fsync, with crash points on every
+transition), so every write-mode ``open``, ``os.rename``/``os.replace``
+and ``.write_bytes``/``.write_text`` inside ``repro/fanstore`` must
+either live in that helper or carry a reasoned waiver (fault
+*injectors* tear bytes on purpose, for example).
+
+Read-mode opens are untouched, and ``str.replace``-style calls are out
+of scope — only the ``os.`` spellings of rename/replace are claimed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import Finding, LintPass, Project, SourceFile
+
+#: literal mode strings that create or mutate the target
+_WRITE_MODE_CHARS = ("w", "a", "x", "+")
+
+
+def _write_mode(call: ast.Call) -> str | None:
+    """The literal write mode of an ``open()`` call, else None."""
+    mode_node: ast.expr | None = None
+    if len(call.args) >= 2:
+        mode_node = call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode_node = kw.value
+    if mode_node is None:
+        return None  # default "r": read-only
+    if not (isinstance(mode_node, ast.Constant)
+            and isinstance(mode_node.value, str)):
+        return None  # dynamic mode: out of scope for a static pass
+    mode = mode_node.value
+    if any(c in mode for c in _WRITE_MODE_CHARS):
+        return mode
+    return None
+
+
+def _describe(call: ast.Call) -> str | None:
+    """Classify one call; None means not a raw store mutation."""
+    fn = call.func
+    if isinstance(fn, ast.Name):
+        if fn.id == "open":
+            mode = _write_mode(call)
+            if mode is not None:
+                return f"write-mode open(..., {mode!r})"
+        return None
+    if not isinstance(fn, ast.Attribute):
+        return None
+    base = fn.value.id if isinstance(fn.value, ast.Name) else None
+    if base == "os" and fn.attr in ("rename", "replace"):
+        return f"os.{fn.attr}"
+    if fn.attr in ("write_bytes", "write_text"):
+        return f".{fn.attr}"
+    return None
+
+
+class DurableWritePass(LintPass):
+    rule = "durable-write"
+    title = "store mutations go through the atomic-apply helper"
+
+    def _scan(self, src: SourceFile) -> Iterable[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            what = _describe(node)
+            if what is None:
+                continue
+            yield Finding(
+                rule=self.rule,
+                path=src.display,
+                line=node.lineno,
+                message=(
+                    f"{what} mutates a store file without the "
+                    "atomic-apply helper; use journal.atomic_replace / "
+                    "journal.atomic_open (or waive with a reason)"
+                ),
+            )
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for src in project.files:
+            display = src.display.replace("\\", "/")
+            if "fanstore/" not in display:
+                continue
+            findings.extend(self._scan(src))
+        return findings

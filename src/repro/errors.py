@@ -201,6 +201,24 @@ class StaleEpochError(FanStoreError, OSError):
         self.server_epoch = server_epoch
 
 
+class StorageFullError(FanStoreError, OSError):
+    """A write was refused because local storage (or the journal's
+    segment budget) is exhausted — refused *early*, before any bytes
+    were torn: the store fails the write typed rather than half-apply
+    it. The ENOSPC of the store: ``errno`` is set accordingly and
+    ``filename`` names the path the write was for."""
+
+    def __init__(self, path: str, detail: str = "") -> None:
+        import errno as _errno
+
+        message = f"{path}: storage full"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+        self.errno = _errno.ENOSPC
+        self.filename = path
+
+
 class SelectionError(ReproError):
     """The compressor-selection algorithm received inconsistent inputs."""
 

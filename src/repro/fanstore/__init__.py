@@ -16,6 +16,10 @@ Subsystems map one-to-one onto the paper's design sections:
 - :mod:`~repro.fanstore.corruption` — deterministic storage-fault injection
 - :mod:`~repro.fanstore.membership` — failure detection, re-replication,
   and live rank rejoin (the active layer over §IV-C2's replication)
+- :mod:`~repro.fanstore.journal` — write-ahead journal, atomic store
+  mutation, restart recovery
+- :mod:`~repro.fanstore.crash` — deterministic crash-point and
+  disk-fault injection
 """
 
 from repro.fanstore.backend import DiskBackend, PartitionBackend, RamBackend
@@ -33,9 +37,25 @@ from repro.fanstore.corruption import (
     corrupt_backend,
     corrupt_record,
 )
+from repro.fanstore.crash import (
+    CRASH_POINTS,
+    CrashPlan,
+    DiskFaultInjector,
+    SimulatedCrashError,
+    crash_point,
+)
 from repro.fanstore.daemon import DaemonConfig, DaemonStats, FanStoreDaemon
 from repro.fanstore.faults import Checkpoint, CheckpointManager
 from repro.fanstore.interception import intercept
+from repro.fanstore.journal import (
+    Journal,
+    JournalConfig,
+    JournalStats,
+    atomic_open,
+    atomic_replace,
+    fsync_dir,
+    scan_journal,
+)
 from repro.fanstore.layout import (
     FLAG_BROADCAST,
     FLAG_HAS_DIGEST,
@@ -110,6 +130,18 @@ __all__ = [
     "CorruptionEvent",
     "corrupt_record",
     "corrupt_backend",
+    "CRASH_POINTS",
+    "CrashPlan",
+    "DiskFaultInjector",
+    "SimulatedCrashError",
+    "crash_point",
+    "Journal",
+    "JournalConfig",
+    "JournalStats",
+    "atomic_open",
+    "atomic_replace",
+    "fsync_dir",
+    "scan_journal",
     "O_RDONLY",
     "O_WRONLY",
     "O_CREAT",

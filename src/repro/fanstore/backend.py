@@ -9,12 +9,18 @@ backend-agnostic.
 
 from __future__ import annotations
 
+import errno as _errno
 import hashlib
 import os
 import threading
 from pathlib import Path
 
-from repro.errors import DataIntegrityError, FileNotFoundInStoreError
+from repro.errors import (
+    DataIntegrityError,
+    FileNotFoundInStoreError,
+    StorageFullError,
+)
+from repro.fanstore.journal import atomic_replace
 
 
 class RamBackend:
@@ -169,16 +175,53 @@ class DiskBackend:
         self.root.mkdir(parents=True, exist_ok=True)
         self._index: dict[str, Path] = {}
         self._lock = threading.Lock()
+        #: optional :class:`~repro.fanstore.crash.DiskFaultInjector`
+        #: consulted before every put (ENOSPC/EMFILE drills)
+        self.injector = None
+        #: owning rank, stamped by the daemon so crash points fired
+        #: inside the atomic apply identify the dying rank
+        self.rank: int | None = None
 
     def _blob_path(self, path: str) -> Path:
         digest = hashlib.sha1(path.encode("utf-8")).hexdigest()
         return self.root / f"{digest}.blob"
 
     def put(self, path: str, data: bytes) -> None:
+        """Atomically install ``data`` as the blob for ``path``: a
+        crash mid-put leaves either the old blob or the new one, never
+        torn bytes that a later ``get`` would happily serve. Resource
+        exhaustion (real or injected) surfaces as the typed
+        :class:`~repro.errors.StorageFullError` instead of a half-
+        applied write."""
         blob = self._blob_path(path)
-        blob.write_bytes(data)
+        try:
+            if self.injector is not None:
+                self.injector.check_put(path)
+            atomic_replace(blob, data, rank=self.rank)
+        except OSError as exc:
+            if exc.errno in (_errno.ENOSPC, _errno.EMFILE, _errno.EDQUOT):
+                raise StorageFullError(
+                    path, exc.strerror or "no space left on device"
+                ) from exc
+            raise
         with self._lock:
             self._index[path] = blob
+
+    def adopt(self, path: str) -> bool:
+        """Re-index a blob that already exists on disk (restart
+        recovery: the bytes survived the crash, only the in-RAM index
+        died with the process). True iff the blob file is present."""
+        blob = self._blob_path(path)
+        if not blob.is_file():
+            return False
+        with self._lock:
+            self._index[path] = blob
+        return True
+
+    def blob_path(self, path: str) -> Path:
+        """Where ``path``'s blob lives (whether or not it exists yet) —
+        recovery digest-checks these without going through ``get``."""
+        return self._blob_path(path)
 
     def get(self, path: str) -> bytes:
         with self._lock:

@@ -218,7 +218,7 @@ class StorageFaultPlan:
             rule = self._decide(path.name)
             if rule is None or not path.exists():
                 return None
-            # lint: allow[blocking-under-lock] fault injector, not the serving hot path; the lock keeps seeded RNG draws and file mutation atomic so drills replay
+            # lint: allow[blocking-under-lock,durable-write] fault injector tears bytes on purpose — atomicity here would defeat the drill; the lock keeps seeded RNG draws and file mutation atomic so drills replay
             data = bytearray(path.read_bytes())
             event = self._mutate(rule, path, data)
             if event is None:
@@ -246,14 +246,14 @@ class StorageFaultPlan:
                 pos = min(pos, len(data) - 1)
                 data[pos] ^= 1 << rng.randrange(8)
                 first = min(first, pos)
-            # lint: allow[blocking-under-lock] fault injector, not the serving hot path; the lock keeps seeded RNG draws and file mutation atomic so drills replay
+            # lint: allow[blocking-under-lock,durable-write] fault injector tears bytes on purpose — atomicity here would defeat the drill; the lock keeps seeded RNG draws and file mutation atomic so drills replay
             path.write_bytes(bytes(data))
             self.stats.bit_flips += 1
             return CorruptionEvent(BIT_FLIP, path, first, max(1, rule.length))
         if rule.action == TRUNCATE:
             keep = rule.offset if rule.offset is not None else rng.randrange(len(data))
             keep = max(0, min(keep, len(data) - 1))
-            # lint: allow[blocking-under-lock] fault injector, not the serving hot path; the lock keeps seeded RNG draws and file mutation atomic so drills replay
+            # lint: allow[blocking-under-lock,durable-write] fault injector tears bytes on purpose — atomicity here would defeat the drill; the lock keeps seeded RNG draws and file mutation atomic so drills replay
             path.write_bytes(bytes(data[:keep]))
             self.stats.truncations += 1
             return CorruptionEvent(TRUNCATE, path, keep, len(data) - keep)
@@ -263,7 +263,7 @@ class StorageFaultPlan:
             start = (min(pos, len(data) - 1) // page) * page
             end = min(start + page, len(data))
             data[start:end] = bytes(end - start)
-            # lint: allow[blocking-under-lock] fault injector, not the serving hot path; the lock keeps seeded RNG draws and file mutation atomic so drills replay
+            # lint: allow[blocking-under-lock,durable-write] fault injector tears bytes on purpose — atomicity here would defeat the drill; the lock keeps seeded RNG draws and file mutation atomic so drills replay
             path.write_bytes(bytes(data))
             self.stats.zero_pages += 1
             return CorruptionEvent(ZERO_PAGE, path, start, end - start)
@@ -273,7 +273,7 @@ class StorageFaultPlan:
         split = max(0, min(split, len(data) - 1))
         lost = len(data) - split
         fragment = rng.randbytes(rng.randrange(lost)) if lost > 1 else b""
-        # lint: allow[blocking-under-lock] fault injector, not the serving hot path; the lock keeps seeded RNG draws and file mutation atomic so drills replay
+        # lint: allow[blocking-under-lock,durable-write] fault injector tears bytes on purpose — atomicity here would defeat the drill; the lock keeps seeded RNG draws and file mutation atomic so drills replay
         path.write_bytes(bytes(data[:split]) + fragment)
         self.stats.torn_writes += 1
         return CorruptionEvent(TORN_WRITE, path, split, lost)
@@ -309,6 +309,7 @@ def corrupt_record(
                     f"{norm}: empty payload has no bits to flip"
                 )
             offset = entry.data_offset + rng.randrange(entry.compressed_size)
+            # lint: allow[durable-write] surgical in-place bit flip IS the fault being injected; an atomic rewrite would change every byte's identity
             with open(part, "r+b") as fh:
                 fh.seek(offset)
                 byte = fh.read(1)[0]

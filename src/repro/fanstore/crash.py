@@ -1,0 +1,279 @@
+"""Deterministic crash-point and disk-fault injection.
+
+The durability layer (:mod:`repro.fanstore.journal`) is only as
+trustworthy as the worst instruction boundary it can be killed at, so
+every durability-relevant transition is bracketed by a named *crash
+point*: a :func:`crash_point` call that is free when no plan is armed
+and raises a process-fatal :class:`SimulatedCrashError` when the armed
+:class:`CrashPlan` says this occurrence should die. Plans are seeded
+(`random.Random(seed)`), so a drill that crashes rank 1 on the third
+``apply.renamed`` replays bit-identically — same contract as
+:class:`repro.comm.chaos.FaultPlan` and
+:class:`repro.fanstore.corruption.StorageFaultPlan`.
+
+:class:`DiskFaultInjector` covers the resource-exhaustion half:
+injectable ENOSPC/EMFILE on the backend write path plus a fake
+free-bytes figure for the journal's low-watermark check, so the
+``StorageFullError`` path is testable without actually filling a disk.
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+import fnmatch
+import random
+import threading
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CRASH_POINTS",
+    "CrashEvent",
+    "CrashPlan",
+    "DiskFaultInjector",
+    "SimulatedCrashError",
+    "crash_point",
+]
+
+
+class SimulatedCrashError(BaseException):
+    """A :class:`CrashPlan` killed the process at a crash point.
+
+    Deliberately **not** an :class:`Exception`: a simulated crash must
+    behave like ``kill -9`` — no ``except Exception`` recovery arm, no
+    retry ladder, no cleanup handler in the store may absorb it. Only
+    the test harness (which catches :class:`BaseException` around the
+    rank body) sees it.
+    """
+
+    def __init__(self, point: str, rank: int | None) -> None:
+        where = f"rank {rank}" if rank is not None else "unknown rank"
+        super().__init__(f"simulated crash at {point!r} on {where}")
+        self.point = point
+        self.rank = rank
+
+
+#: Every registered crash point, in write-path order. ``crash_point``
+#: rejects names outside this tuple so a typo in instrumentation (or in
+#: a drill) fails loudly instead of silently never firing; the
+#: crash-drill sweep parametrises over exactly this tuple.
+CRASH_POINTS: tuple[str, ...] = (
+    # -- journalled mutation, in protocol order -------------------------
+    "journal.intent",      # intent record durable, apply not started
+    "apply.tmp_written",   # tmp blob written + fsynced, not yet renamed
+    "apply.renamed",       # rename done, parent dir not yet fsynced
+    "apply.done",          # apply fully durable, commit not yet written
+    "journal.commit",      # commit record durable, ack not yet sent
+    # -- journal maintenance --------------------------------------------
+    "journal.rotate",      # new segment created, old one still current
+    "journal.checkpoint",  # checkpoint durable, old segments not yet GCed
+    # -- restart recovery (recovery must itself be crash-safe) ----------
+    "recovery.scanned",    # journal parsed, nothing replayed yet
+    "recovery.replayed",   # roll-forward done, rollback GC not started
+    "recovery.done",       # recovery complete, journal not yet reopened
+)
+
+_POINT_SET = frozenset(CRASH_POINTS)
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """One fired (or deliberately skipped) crash-point occurrence."""
+
+    point: str
+    rank: int | None
+    occurrence: int  # 1-based count of matching visits to this rule
+    fired: bool
+
+
+@dataclass
+class _Rule:
+    pattern: str                 # fnmatch pattern over crash-point names
+    rank: int | None             # None = any rank (incl. unknown)
+    times: int                   # fire at most this many occurrences
+    probability: float           # per-visit chance once past `skip`
+    skip: int                    # let this many matching visits live
+    seen: int = 0                # matching visits so far
+    fired: int = 0               # crashes delivered so far
+
+
+class CrashPlan:
+    """A seeded, chainable schedule of process crashes.
+
+    Arm with :meth:`install` (or use the plan as a context manager);
+    only one plan is active per process at a time. Rules are
+    first-match-wins in registration order, mirroring the other fault
+    plans in this repo.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._rules: list[_Rule] = []
+        self._lock = threading.Lock()
+        self.events: list[CrashEvent] = []
+
+    # -- registration (chainable) -----------------------------------------
+
+    def crash_at(
+        self,
+        pattern: str,
+        *,
+        rank: int | None = None,
+        times: int = 1,
+        probability: float = 1.0,
+        skip: int = 0,
+    ) -> "CrashPlan":
+        """Crash when a crash point matching ``pattern`` is visited.
+
+        ``skip`` spares the first N matching visits (so "die on the
+        third write" is expressible), ``times`` bounds deliveries, and
+        ``probability`` draws from the plan's seeded RNG for chaos-style
+        sweeps. An exact ``pattern`` must name a registered point.
+        """
+        if "*" not in pattern and "?" not in pattern:
+            _check_point(pattern)
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability out of range: {probability}")
+        if times < 1:
+            raise ValueError(f"times must be >= 1, got {times}")
+        if skip < 0:
+            raise ValueError(f"skip must be >= 0, got {skip}")
+        with self._lock:
+            self._rules.append(
+                _Rule(pattern, rank, times, probability, skip)
+            )
+        return self
+
+    # -- arming ------------------------------------------------------------
+
+    def install(self) -> "CrashPlan":
+        global _ACTIVE
+        with _ACTIVE_LOCK:
+            _ACTIVE = self
+        return self
+
+    def uninstall(self) -> None:
+        global _ACTIVE
+        with _ACTIVE_LOCK:
+            if _ACTIVE is self:
+                _ACTIVE = None
+
+    def __enter__(self) -> "CrashPlan":
+        return self.install()
+
+    def __exit__(self, *_exc: object) -> None:
+        self.uninstall()
+
+    # -- the hook's decision ----------------------------------------------
+
+    def _visit(self, point: str, rank: int | None) -> None:
+        with self._lock:
+            for rule in self._rules:
+                if rule.rank is not None and rule.rank != rank:
+                    continue
+                if not fnmatch.fnmatchcase(point, rule.pattern):
+                    continue
+                rule.seen += 1
+                if rule.seen <= rule.skip or rule.fired >= rule.times:
+                    return
+                if (
+                    rule.probability < 1.0
+                    and self._rng.random() >= rule.probability
+                ):
+                    self.events.append(
+                        CrashEvent(point, rank, rule.seen, fired=False)
+                    )
+                    return
+                rule.fired += 1
+                self.events.append(
+                    CrashEvent(point, rank, rule.seen, fired=True)
+                )
+                raise SimulatedCrashError(point, rank)
+
+    @property
+    def crashes_delivered(self) -> int:
+        with self._lock:
+            return sum(r.fired for r in self._rules)
+
+
+_ACTIVE: CrashPlan | None = None
+_ACTIVE_LOCK = threading.Lock()
+
+
+def _check_point(name: str) -> None:
+    if name not in _POINT_SET:
+        raise ValueError(
+            f"unknown crash point {name!r}; registered points: "
+            + ", ".join(CRASH_POINTS)
+        )
+
+
+def crash_point(name: str, rank: int | None = None) -> None:
+    """Durability instrumentation hook: dies here iff the active
+    :class:`CrashPlan` says so. ``rank`` identifies the visiting rank
+    when the call site knows it (journal/daemon paths do; bare backend
+    helpers may not)."""
+    _check_point(name)
+    plan = _ACTIVE
+    if plan is not None:
+        plan._visit(name, rank)
+
+
+class DiskFaultInjector:
+    """Injectable storage-resource exhaustion for the write path.
+
+    ``fail_puts`` arms OSErrors (ENOSPC, EMFILE, ...) against matching
+    store paths with an occurrence budget; ``set_free_bytes`` feeds the
+    journal's low-watermark probe a fake figure so the early-refusal
+    path (typed :class:`~repro.errors.StorageFullError` *before* any
+    bytes are torn) is drillable. Thread-safe; deterministic — no RNG
+    is involved, budgets burn in arrival order.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._put_rules: list[dict] = []
+        self._free_bytes: int | None = None
+        self.errors_injected: int = 0
+
+    # -- arming ------------------------------------------------------------
+
+    def fail_puts(
+        self,
+        pattern: str = "*",
+        *,
+        error: int = _errno.ENOSPC,
+        times: int = 1,
+    ) -> "DiskFaultInjector":
+        if times < 1:
+            raise ValueError(f"times must be >= 1, got {times}")
+        with self._lock:
+            self._put_rules.append(
+                {"pattern": pattern, "errno": error, "left": times}
+            )
+        return self
+
+    def set_free_bytes(self, free: int | None) -> "DiskFaultInjector":
+        """Override what the low-watermark probe sees (None = real)."""
+        with self._lock:
+            self._free_bytes = free
+        return self
+
+    # -- probes used by the durability layer -------------------------------
+
+    def check_put(self, path: str) -> None:
+        """Raise the armed OSError for this put, if any budget matches."""
+        with self._lock:
+            for rule in self._put_rules:
+                if rule["left"] <= 0:
+                    continue
+                if not fnmatch.fnmatchcase(path, rule["pattern"]):
+                    continue
+                rule["left"] -= 1
+                self.errors_injected += 1
+                code = rule["errno"]
+                raise OSError(code, _errno.errorcode.get(code, "EIO"), path)
+
+    def free_bytes(self, real: int) -> int:
+        with self._lock:
+            return real if self._free_bytes is None else self._free_bytes

@@ -55,6 +55,7 @@ import threading
 import time
 import zlib
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any
 
 from repro.comm.communicator import ANY_SOURCE, Communicator
@@ -75,7 +76,17 @@ from repro.errors import (
 )
 from repro.fanstore.backend import DiskBackend, RamBackend
 from repro.fanstore.cache import DecompressedCache
+from repro.fanstore.crash import DiskFaultInjector, crash_point
 from repro.fanstore.health import AdmissionQueue, BreakerState, HealthTracker
+from repro.fanstore.journal import (
+    Journal,
+    JournalConfig,
+    JournalStats,
+    fsync_dir,
+    live_entry,
+    record_from_wire,
+    scan_journal,
+)
 from repro.fanstore.layout import blob_crc32, read_partition
 from repro.fanstore.membership import (
     ClusterView,
@@ -299,6 +310,9 @@ class FanStoreDaemon:
         backend: RamBackend | DiskBackend | None = None,
         registry: CompressorRegistry | None = None,
         metrics: MetricsRegistry | None = None,
+        journal_dir: Any = None,
+        journal_config: JournalConfig | None = None,
+        disk_injector: DiskFaultInjector | None = None,
     ) -> None:
         self.comm = comm
         self.config = config or DaemonConfig()
@@ -376,6 +390,22 @@ class FanStoreDaemon:
         # corpses this rank already ran a re-replication pass for —
         # heal catch-up must not double-stage what on_rank_dead did
         self._rereplicated_for: set[int] = set()
+        #: crash-consistent durability (PR 8): when a journal directory
+        #: is configured, every local-store mutation goes intent →
+        #: atomic apply → commit through :meth:`_durable_put`, and
+        #: :meth:`load`/:meth:`load_rejoin` run restart recovery before
+        #: ingesting anything. ``None`` journal = legacy fire-and-forget
+        #: (RAM backends, where nothing survives the process anyway).
+        self._journal_dir = journal_dir
+        self._journal_config = journal_config
+        self._disk_injector = disk_injector
+        self.journal: Journal | None = None
+        self.jstats = JournalStats()
+        self.jstats.bind(self.metrics)
+        if disk_injector is not None and hasattr(self.backend, "injector"):
+            self.backend.injector = disk_injector
+        if isinstance(self.backend, DiskBackend):
+            self.backend.rank = self.rank
 
     # -- loading ----------------------------------------------------------
 
@@ -422,6 +452,9 @@ class FanStoreDaemon:
         """Stage the prepared dataset: local partitions from the shared
         FS, extra partitions from the ring neighbor, broadcast partition
         everywhere, then the metadata allgather."""
+        # crash recovery first: adopted client outputs must be in the
+        # table before the allgather announces this rank's holdings
+        self._open_journal()
         self._prepared = prepared  # kept for degraded shared-FS re-reads
         assigned = self._assigned_partitions(len(prepared.partitions))
         partition_paths = prepared.partition_paths()
@@ -638,7 +671,7 @@ class FanStoreDaemon:
             except (RetryExhaustedError, ServerOverloadedError, RankDeadError):
                 continue
             if ok and self._blob_ok(record, data):
-                self.backend.put(step.path, data)
+                self._durable_put("rereplicate", step.path, data)
                 return data
         # _degraded_read verifies and promotes into the backend itself
         return self._degraded_read(step.path, record)
@@ -806,6 +839,7 @@ class FanStoreDaemon:
         original cohort's collective sequence has moved on), so its
         bytes come from the shared FS and its metadata from the join
         snapshot applied afterwards."""
+        self._open_journal()
         self._prepared = prepared
         assigned = self._assigned_partitions(len(prepared.partitions))
         partition_paths = prepared.partition_paths()
@@ -835,10 +869,213 @@ class FanStoreDaemon:
             },
         }
 
+    # -- durability (write-ahead journal + restart recovery) ----------------
+
+    def _durable_put(
+        self,
+        op: str,
+        norm: str,
+        data: bytes,
+        *,
+        record: FileRecord | None = None,
+    ) -> None:
+        """The journalled mutation protocol: intent (durable) → atomic
+        apply → commit (durable). Only after this returns may the
+        caller acknowledge anything. With no journal configured this is
+        a plain backend put (legacy fire-and-forget).
+
+        A clean apply failure aborts the intent (recovery would roll it
+        back anyway; aborting just unpins its segment early). A
+        simulated crash is a ``BaseException`` and deliberately skips
+        the abort — the intent must stay pending on disk, exactly like
+        a real ``kill -9``.
+        """
+        journal = self.journal
+        if journal is None:
+            self.backend.put(norm, data)
+            return
+        seq = journal.begin(
+            op, norm, data, epoch=self._view_epoch(), record=record
+        )
+        try:
+            self.backend.put(norm, data)
+        except Exception:
+            journal.abort(seq)
+            raise
+        journal.commit(seq)
+
+    def _open_journal(self) -> None:
+        """Restart recovery, then open (a fresh incarnation of) the
+        journal. Idempotent per daemon; no-op without a journal dir.
+
+        Recovery never appends to the journal, and its mutations
+        (adopt, unlink, tmp GC) are idempotent — so a crash at any
+        ``recovery.*`` point simply reruns recovery on the next start.
+        Only the :class:`Journal` constructor afterwards changes the
+        journal itself, and it does so checkpoint-first.
+        """
+        if self._journal_dir is None or self.journal is not None:
+            return
+        t0 = time.monotonic()
+        stats = self.jstats
+        log = scan_journal(self._journal_dir)
+        stats.recovery_torn_records += log.torn_records
+        with self.tracer.root(
+            "durability.recover", rank=self.rank,
+            segments=log.segments,
+        ) as span:
+            crash_point("recovery.scanned", self.rank)
+            live: dict[str, dict] = {}
+            # Adoption first: an uncommitted intent whose on-disk bytes
+            # digest-match it finished its apply — the rename + dir
+            # fsync is the durable commit point and only the lazily
+            # synced commit record was lost. Applies replace whole
+            # files atomically, so disk-matching an intent proves that
+            # intent's apply was the last to complete for its path; a
+            # committed (older) version of the same path must then not
+            # re-apply itself over the newer acked bytes.
+            adopted: set[str] = set()
+            for intent in log.uncommitted:
+                if intent["path"] in adopted:
+                    continue
+                entry = live_entry(intent)
+                data = self._read_raw_blob(intent["path"])
+                if (
+                    data is not None
+                    and len(data) == entry["size"]
+                    and zlib.crc32(data) == entry["crc"]
+                ):
+                    self._recover_entry(intent["path"], entry, live)
+                    adopted.add(intent["path"])
+            for path, entry in log.checkpoint_live.items():
+                if path not in adopted:
+                    self._recover_entry(path, entry, live)
+            for intent in log.committed:
+                if intent["path"] not in adopted:
+                    self._recover_entry(
+                        intent["path"], live_entry(intent), live
+                    )
+            crash_point("recovery.replayed", self.rank)
+            for intent in log.uncommitted:
+                if intent["path"] in adopted:
+                    continue
+                self._rollback_intent(intent, live)
+                stats.recovery_rolled_back += 1
+            stats.recovery_tmp_gc += self._gc_tmp_files()
+            crash_point("recovery.done", self.rank)
+            span.tag(
+                replayed=stats.recovery_replayed,
+                reapplied=stats.recovery_reapplied,
+                rolled_back=stats.recovery_rolled_back,
+                quarantined=stats.recovery_quarantined,
+                torn=stats.recovery_torn_records,
+            )
+        self.journal = Journal(
+            self._journal_dir,
+            rank=self.rank,
+            config=self._journal_config,
+            stats=stats,
+            injector=self._disk_injector,
+            live=live,
+        )
+        stats.recovery_seconds = time.monotonic() - t0
+
+    def _read_raw_blob(self, norm: str) -> bytes | None:
+        """The bytes currently on disk behind ``norm``, bypassing the
+        backend index (which died with the previous process)."""
+        backend = self.backend
+        if isinstance(backend, DiskBackend):
+            blob = backend.blob_path(norm)
+            try:
+                return blob.read_bytes() if blob.is_file() else None
+            except OSError:
+                return None
+        # RAM-family backends: nothing survives a process death
+        return None
+
+    def _recover_entry(
+        self, path: str, entry: dict, live: dict[str, dict]
+    ) -> None:
+        """Roll one committed intent forward: verify the on-disk bytes
+        against the journalled digest and re-adopt them; re-apply from
+        the embedded payload when the bytes are missing or torn; and
+        only when neither is possible, quarantine (count it — the
+        crash drill asserts this stays zero, because the protocol
+        commits strictly after the apply is durable)."""
+        data = self._read_raw_blob(path)
+        if (
+            data is not None
+            and len(data) == entry["size"]
+            and zlib.crc32(data) == entry["crc"]
+        ):
+            if isinstance(self.backend, DiskBackend):
+                self.backend.adopt(path)
+            else:
+                self.backend.put(path, data)
+            self.jstats.recovery_replayed += 1
+        elif "payload" in entry:
+            self.backend.put(path, bytes.fromhex(entry["payload"]))
+            self.jstats.recovery_reapplied += 1
+        else:
+            self.backend.discard(path)
+            if isinstance(self.backend, DiskBackend):
+                self.backend.blob_path(path).unlink(missing_ok=True)
+            self.jstats.recovery_quarantined += 1
+            return
+        wire = entry.get("record")
+        if wire is not None:
+            self.metadata.insert(record_from_wire(wire))
+        live[path] = entry
+
+    def _rollback_intent(self, intent: dict, live: dict[str, dict]) -> None:
+        """Undo one uncommitted intent. The client was never
+        acknowledged, so deleting whatever the torn apply left behind
+        is always correct — *unless* a committed version of the same
+        path owns the current bytes, in which case they stay."""
+        path = intent["path"]
+        kept = live.get(path)
+        data = self._read_raw_blob(path)
+        if data is None:
+            return  # the apply never reached the final name
+        if kept is not None and zlib.crc32(data) == kept["crc"]:
+            return  # these bytes belong to the committed version
+        self.backend.discard(path)
+        if isinstance(self.backend, DiskBackend):
+            self.backend.blob_path(path).unlink(missing_ok=True)
+
+    def _gc_tmp_files(self) -> int:
+        """Remove ``*.tmp`` orphans of crashed atomic applies (the one
+        artefact the tmp+rename protocol can leak) from the backend
+        root and the journal directory."""
+        removed = 0
+        dirs = [Path(self._journal_dir)] if self._journal_dir else []
+        if isinstance(self.backend, DiskBackend):
+            dirs.append(self.backend.root)
+        for directory in dirs:
+            if not directory.is_dir():
+                continue
+            for orphan in directory.glob("*.tmp"):
+                orphan.unlink(missing_ok=True)
+                removed += 1
+            if removed:
+                fsync_dir(directory)
+        return removed
+
     # -- service loop -------------------------------------------------------
 
     def start(self) -> None:
         """Start answering peer requests (no-op single-node)."""
+        if self.journal is not None and self.journal.closed:
+            # a restart after stop(): reopen a fresh journal incarnation
+            # over the (already consistent) live state
+            self.journal = Journal(
+                self._journal_dir,
+                rank=self.rank,
+                config=self._journal_config,
+                stats=self.jstats,
+                injector=self._disk_injector,
+                live=self.journal.live_state(),
+            )
         if self.comm is None or self._service_thread is not None:
             return
         self._service_thread = threading.Thread(
@@ -852,6 +1089,8 @@ class FanStoreDaemon:
         (a generous request budget must not become a shutdown hang). A
         service thread that misses it is logged and leaked: it is a
         daemon thread, so it cannot outlive the process."""
+        if self.journal is not None:
+            self.journal.close()
         if self.comm is None or self._service_thread is None:
             return
         self.comm.send(("stop", None), self.rank, TAG_DAEMON)
@@ -1557,7 +1796,7 @@ class FanStoreDaemon:
                 )
             span.tag(repaired=True)
             self.stats.corruption_repaired += 1
-            self.backend.put(norm, data)
+            self._durable_put("repair", norm, data)
             return data
 
     def _replica_order(self, norm: str, record: FileRecord) -> list[int]:
@@ -1645,7 +1884,7 @@ class FanStoreDaemon:
             if not self._blob_ok(record, data):
                 return None
             self.stats.degraded_reads += 1
-            self.backend.put(norm, data)
+            self._durable_put("promote", norm, data)
             return data
 
     def _decompress(
@@ -1761,7 +2000,7 @@ class FanStoreDaemon:
         stat the path before the owner's daemon processed the insert."""
         norm = normalize(path)
         t0 = time.perf_counter()
-        self.backend.put(norm, data)
+        self._durable_put("write", norm, data, record=record)
         self.metadata.insert(record)
         self.stats.writes += 1
         self.stats.write_bytes += len(data)

@@ -12,16 +12,16 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import re
-import uuid
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
 from repro.errors import DataIntegrityError, FanStoreError
+from repro.fanstore.journal import atomic_replace, fsync_dir
 
 _CKPT_RE = re.compile(r"^checkpoint-(\d{6})\.ckpt$")
+_CKPT_TMP_RE = re.compile(r"^checkpoint-\d{6}\.ckpt\.\d+\.[0-9a-f]{32}\.tmp$")
 
 
 def _payload_digest(epoch: int, payload: dict[str, Any]) -> str:
@@ -67,48 +67,40 @@ class CheckpointManager:
     def save(self, epoch: int, payload: dict[str, Any]) -> Path:
         """Atomically persist ``payload`` as the epoch's checkpoint.
 
-        The tmp name carries a pid+uuid suffix so two writers racing on
-        the same epoch (every rank of a relaunched job, say) never
-        clobber each other's half-written file, and the payload is
-        fsynced before the rename so a crash right after ``save``
-        returns still finds complete bytes behind the final name — the
-        §V-E resume point must survive exactly that crash.
+        Delegates to the store-wide atomic-apply helper
+        (:func:`~repro.fanstore.journal.atomic_replace`): the tmp name
+        carries a pid+uuid suffix so two writers racing on the same
+        epoch (every rank of a relaunched job, say) never clobber each
+        other's half-written file, the payload is fsynced before the
+        rename, and the parent directory is fsynced after it — a crash
+        right after ``save`` returns still finds complete bytes behind
+        the final name, and the rename itself survives power loss. The
+        §V-E resume point must survive exactly those crashes.
         """
         final = self._path_for(epoch)
-        tmp = final.with_name(
-            f"{final.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
-        )
-        try:
-            with open(tmp, "w", encoding="utf-8") as fh:
-                fh.write(json.dumps({
-                    "epoch": epoch,
-                    "state": payload,
-                    "sha256": _payload_digest(epoch, payload),
-                }))
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, final)
-        except BaseException:
-            tmp.unlink(missing_ok=True)
-            raise
-        self._fsync_dir()
+        atomic_replace(final, json.dumps({
+            "epoch": epoch,
+            "state": payload,
+            "sha256": _payload_digest(epoch, payload),
+        }))
         if self.keep_last is not None:
             self._prune()
         return final
 
-    def _fsync_dir(self) -> None:
-        """Persist the rename itself (the directory entry), where the
-        platform allows opening a directory read-only."""
-        try:
-            dir_fd = os.open(self.directory, os.O_RDONLY)
-        except OSError:
-            return
-        try:
-            os.fsync(dir_fd)
-        except OSError:
-            pass
-        finally:
-            os.close(dir_fd)
+    def gc_orphans(self) -> int:
+        """Remove ``*.tmp`` leftovers of savers that crashed between
+        opening their tmp file and renaming it — the one state the
+        atomic write can leak. Safe against live concurrent savers up
+        to the (already accepted) pid+uuid collision odds; call it on
+        restart, before resuming. Returns the number removed."""
+        removed = 0
+        for entry in self.directory.iterdir():
+            if _CKPT_TMP_RE.match(entry.name):
+                entry.unlink(missing_ok=True)
+                removed += 1
+        if removed:
+            fsync_dir(self.directory)
+        return removed
 
     def epochs(self) -> list[int]:
         """Checkpointed epochs, ascending."""
@@ -182,5 +174,10 @@ class CheckpointManager:
     def _prune(self) -> None:
         assert self.keep_last is not None
         epochs = self.epochs()
-        for epoch in epochs[: -self.keep_last]:
+        doomed = epochs[: -self.keep_last]
+        for epoch in doomed:
             self._path_for(epoch).unlink(missing_ok=True)
+        if doomed:
+            # the unlinks are directory mutations too: without this a
+            # crash can resurrect a pruned epoch as the "latest"
+            fsync_dir(self.directory)

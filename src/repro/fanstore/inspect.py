@@ -32,6 +32,7 @@ from typing import Sequence
 
 from repro.compressors.registry import default_registry
 from repro.errors import FormatError, ManifestError
+from repro.fanstore.journal import atomic_open
 from repro.fanstore.layout import (
     blob_crc32,
     entry_payload_ok,
@@ -263,7 +264,7 @@ def repair_dataset(
             rewrite = True  # damage confined to dead bytes: canonicalize
             repaired.append(f"{ppath.name}: rewritten in canonical form")
         if rewrite:
-            with open(ppath, "wb") as fh:
+            with atomic_open(ppath) as fh:
                 write_partition(fixed, fh)  # type: ignore[arg-type]
             prepared.partition_digests[ppath.name] = sha256_file(ppath)
             manifest_dirty = True

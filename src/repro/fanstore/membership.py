@@ -207,8 +207,9 @@ class ClusterView:
     Per-rank entries carry a version counter bumped on every local
     transition; merging takes, per rank, the greater entry under the
     ``(version, severity)`` total order, and the max epoch — except
-    that equal-epoch merges whose DEAD sets diverge bump past both
-    inputs (see :meth:`merge`). The *epoch* counts membership changes
+    that an equal-epoch merge carrying a conviction we had not seen
+    bumps past both inputs (see :meth:`merge`). The *epoch* counts
+    membership changes
     that affect routing/ownership — DEAD convictions and verified
     re-admissions — and is what invalidates the daemon's negative
     route cache and stale fencing tokens.
@@ -275,10 +276,21 @@ class ClusterView:
         membership histories share an epoch number, and everything
         keyed by epoch — the daemon's negative route cache, fencing
         tokens — would treat stale state as current across the heal. So
-        when a merge at equal epochs changes any rank's DEAD-ness, the
-        merged epoch is bumped *past* both inputs. Both merge orders
-        see the same DEAD-set delta, so the bump is symmetric; ordinary
-        SUSPECT churn never involves DEAD and never bumps."""
+        when a merge at equal epochs newly *convicts* a rank (its state
+        becomes DEAD), the merged epoch is bumped *past* both inputs.
+        In the split-heal case each side learns the other's corpse, so
+        both merge orders bump and the result is symmetric.
+
+        Only the conviction direction bumps. A DEAD rank coming *back*
+        at the same epoch is not a parallel history — it is the rejoin
+        handshake propagating by gossip (the serving peer re-admitted
+        the joiner as SUSPECT at a higher version), and the promotion
+        that completes the rejoin performs its own epoch bump. Bumping
+        on re-admission too would double-count the rejoin wherever the
+        handshake raced ahead of gossip: observed on slow runners as a
+        healed cluster settling one epoch past the handshake's own
+        count. Ordinary SUSPECT churn never involves DEAD and never
+        bumps."""
         if other.size != self.size:
             raise MembershipError(
                 f"cannot merge views of size {other.size} into {self.size}"
@@ -293,7 +305,7 @@ class ClusterView:
                 self.states[r] = theirs_s
                 self.versions[r] = theirs_v
         dead_divergence = other.epoch == self.epoch and any(
-            RankState.DEAD in (old, new) for _, old, new in changed
+            new == RankState.DEAD for _, _, new in changed
         )
         if other.epoch > self.epoch:
             self.epoch = other.epoch

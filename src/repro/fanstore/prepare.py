@@ -39,6 +39,7 @@ from repro.fanstore.layout import (
     blob_crc32,
     write_partition,
 )
+from repro.fanstore.journal import atomic_open, atomic_replace
 from repro.fanstore.metadata import normalize
 
 MANIFEST_NAME = "manifest.json"
@@ -123,7 +124,9 @@ class PreparedDataset:
             "partition_digests": self.partition_digests,
         }
         manifest["manifest_sha256"] = manifest_digest(manifest)
-        (self.root / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+        atomic_replace(
+            self.root / MANIFEST_NAME, json.dumps(manifest, indent=2)
+        )
 
     @classmethod
     def load(cls, root: Path | str) -> "PreparedDataset":
@@ -308,7 +311,7 @@ def prepare_dataset(
             chunk, data_dir, compressor, registry, threads, pid
         )
         name = PARTITION_PATTERN.format(pid)
-        with open(out_dir / name, "wb") as fh:
+        with atomic_open(out_dir / name) as fh:
             write_partition(entries, fh)
         partition_names.append(name)
         partition_digests[name] = sha256_file(out_dir / name)
@@ -330,7 +333,7 @@ def prepare_dataset(
             flags=FLAG_BROADCAST,
         )
         broadcast_name = BROADCAST_NAME
-        with open(out_dir / broadcast_name, "wb") as fh:
+        with atomic_open(out_dir / broadcast_name) as fh:
             write_partition(bentries, fh)
         partition_digests[broadcast_name] = sha256_file(out_dir / broadcast_name)
         num_files += len(bentries)

@@ -46,7 +46,9 @@ from repro.compressors.registry import CompressorRegistry
 from repro.errors import FanStoreError
 from repro.fanstore.backend import DiskBackend, PartitionBackend, RamBackend
 from repro.fanstore.client import FanStoreClient
+from repro.fanstore.crash import DiskFaultInjector
 from repro.fanstore.daemon import DaemonConfig, DaemonStats, FanStoreDaemon
+from repro.fanstore.journal import JournalConfig
 from repro.fanstore.membership import FailureDetector, MembershipConfig
 from repro.fanstore.prepare import PreparedDataset
 from repro.fanstore.scrub import ScrubReport, Scrubber
@@ -90,6 +92,19 @@ class FanStoreOptions:
     #: share an existing metrics registry (None = the daemon makes its
     #: own per-rank registry, reachable as :attr:`FanStore.metrics`).
     metrics: MetricsRegistry | None = None
+    #: crash-consistent durability: with a disk-resident backend every
+    #: local-store mutation is write-ahead journalled (intent → atomic
+    #: apply → commit) and the constructor runs restart recovery before
+    #: loading. On by default wherever it applies — it is a no-op for
+    #: RAM backends (nothing survives the process there anyway).
+    journal: bool = True
+    #: journal tunables (:class:`~repro.fanstore.journal.JournalConfig`);
+    #: None = defaults.
+    journal_config: JournalConfig | None = None
+    #: deterministic ENOSPC/EMFILE + free-space fault injection shared
+    #: by the backend write path and the journal's low-watermark probe
+    #: (:class:`~repro.fanstore.crash.DiskFaultInjector`); None = off.
+    disk_injector: DiskFaultInjector | None = None
 
 
 #: constructor keywords accepted pre-FanStoreOptions; each maps 1:1
@@ -140,12 +155,18 @@ class FanStore(ServiceMixin):
                 if opts.local_dir is not None else RamBackend()
             )
         comm = opts.comm
+        journal_dir = None
+        if opts.journal and isinstance(backend, DiskBackend):
+            journal_dir = backend.root / "journal"
         self.daemon = FanStoreDaemon(
             comm,
             config=opts.config,
             backend=backend,
             registry=opts.registry,
             metrics=opts.metrics,
+            journal_dir=journal_dir,
+            journal_config=opts.journal_config,
+            disk_injector=opts.disk_injector,
         )
         self.client = FanStoreClient(self.daemon)
         self.membership: FailureDetector | None = None
@@ -291,6 +312,13 @@ class FanStore(ServiceMixin):
         """This rank's per-peer health tracker (latency EWMA/quantiles
         + circuit breakers; :class:`repro.fanstore.health.HealthTracker`)."""
         return self.daemon.health
+
+    @property
+    def journal(self):
+        """This rank's write-ahead journal
+        (:class:`repro.fanstore.journal.Journal`), or None when the
+        backend is not disk-resident / journalling was disabled."""
+        return self.daemon.journal
 
     @property
     def tracer(self) -> Tracer:

@@ -275,3 +275,96 @@ class TestDeprecatedFacade:
         report = lint_tree({"bench.py": src})
         findings = rules_of(report, "deprecated-facade")
         assert findings and findings[0].waived
+
+
+class TestDurableWrite:
+    def test_write_mode_open_in_fanstore_flagged(self, lint_tree):
+        src = textwrap.dedent(
+            """
+            def save(path, data):
+                with open(path, "wb") as fh:
+                    fh.write(data)
+            """
+        )
+        report = lint_tree({"fanstore/writer.py": src})
+        findings = rules_of(report, "durable-write")
+        assert len(findings) == 1
+        assert "'wb'" in findings[0].message
+        assert "atomic-apply" in findings[0].message
+
+    def test_read_mode_open_is_clean(self, lint_tree):
+        src = textwrap.dedent(
+            """
+            def load(path):
+                with open(path) as fh:
+                    return fh.read()
+
+            def load_binary(path):
+                with open(path, "rb") as fh:
+                    return fh.read()
+            """
+        )
+        report = lint_tree({"fanstore/reader.py": src})
+        assert not rules_of(report, "durable-write"), report.summary()
+
+    def test_os_rename_and_write_bytes_flagged(self, lint_tree):
+        src = textwrap.dedent(
+            """
+            import os
+            from pathlib import Path
+
+            def install(tmp, final):
+                os.rename(tmp, final)
+
+            def dump(path, data):
+                Path(path).write_bytes(data)
+            """
+        )
+        report = lint_tree({"fanstore/install.py": src})
+        found = {f.message.split(" ")[0] for f in rules_of(report, "durable-write")}
+        assert found == {"os.rename", ".write_bytes"}
+
+    def test_str_replace_not_confused_with_os_replace(self, lint_tree):
+        src = textwrap.dedent(
+            """
+            def canon(name):
+                return name.replace("\\\\", "/")
+            """
+        )
+        report = lint_tree({"fanstore/paths.py": src})
+        assert not rules_of(report, "durable-write"), report.summary()
+
+    def test_outside_fanstore_is_out_of_scope(self, lint_tree):
+        src = textwrap.dedent(
+            """
+            def save(path, data):
+                with open(path, "w") as fh:
+                    fh.write(data)
+            """
+        )
+        report = lint_tree({"training/logs.py": src})
+        assert not rules_of(report, "durable-write"), report.summary()
+
+    def test_waiver_with_reason_suppresses(self, lint_tree):
+        src = textwrap.dedent(
+            """
+            def tear(path, data):
+                with open(path, "wb") as fh:  # lint: allow[durable-write] fault injector tears bytes on purpose
+                    fh.write(data[:3])
+            """
+        )
+        report = lint_tree({"fanstore/injector.py": src})
+        (finding,) = rules_of(report, "durable-write")
+        assert finding.waived
+        assert finding.reason == "fault injector tears bytes on purpose"
+        assert not report.unwaived
+
+    def test_dynamic_mode_out_of_scope(self, lint_tree):
+        src = textwrap.dedent(
+            """
+            def open_as(path, mode):
+                return open(path, mode)
+            """
+        )
+        report = lint_tree({"fanstore/anymode.py": src})
+        assert not rules_of(report, "durable-write"), report.summary()

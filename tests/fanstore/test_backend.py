@@ -66,3 +66,50 @@ class TestDiskBackendSpecifics:
         backend.put("k", b"durable")
         blob = next((tmp_path / "store").iterdir())
         assert blob.read_bytes() == b"durable"
+
+
+class TestDiskBackendDurability:
+    def test_put_leaves_no_tmp(self, tmp_path):
+        backend = DiskBackend(tmp_path / "store")
+        backend.put("k", b"x" * 1000)
+        assert not list((tmp_path / "store").glob("*.tmp"))
+
+    def test_crash_mid_put_preserves_old_blob(self, tmp_path):
+        from repro.fanstore.crash import CrashPlan, SimulatedCrashError
+
+        backend = DiskBackend(tmp_path / "store")
+        backend.put("k", b"old")
+        with CrashPlan().crash_at("apply.tmp_written"):
+            with pytest.raises(SimulatedCrashError):
+                backend.put("k", b"new")
+        # a reader never sees torn bytes: the old blob survives whole
+        assert backend.get("k") == b"old"
+
+    def test_adopt_reindexes_surviving_blob(self, tmp_path):
+        first = DiskBackend(tmp_path / "store")
+        first.put("k", b"survivor")
+        # a fresh incarnation: the index died with the process
+        second = DiskBackend(tmp_path / "store")
+        assert "k" not in second
+        assert second.adopt("k")
+        assert second.get("k") == b"survivor"
+        assert not second.adopt("ghost")
+
+    def test_blob_path_is_stable(self, tmp_path):
+        backend = DiskBackend(tmp_path / "store")
+        backend.put("k", b"v")
+        assert backend.blob_path("k").read_bytes() == b"v"
+
+    def test_injected_enospc_surfaces_as_storage_full(self, tmp_path):
+        from repro.errors import StorageFullError
+        from repro.fanstore.crash import DiskFaultInjector
+
+        backend = DiskBackend(tmp_path / "store")
+        backend.injector = DiskFaultInjector().fail_puts("k")
+        with pytest.raises(StorageFullError) as exc_info:
+            backend.put("k", b"refused")
+        import errno
+        assert exc_info.value.errno == errno.ENOSPC
+        assert exc_info.value.filename == "k"
+        backend.put("k", b"ok now")  # budget spent: writes resume
+        assert backend.get("k") == b"ok now"

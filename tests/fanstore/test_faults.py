@@ -163,3 +163,39 @@ class TestPruning:
         mgr = CheckpointManager(tmp_path)
         mgr.save(1, {})
         assert mgr.epochs() == [1]
+
+
+class TestCrashDurability:
+    def test_gc_orphans_removes_crashed_saver_tmps(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(1, {"w": [1]})
+        # a saver that died between tmp-write and rename leaves exactly
+        # this shape behind (pid + uuid suffix on the final name)
+        orphan = tmp_path / (
+            "checkpoint-000002.ckpt.12345."
+            + "ab" * 16 + ".tmp"
+        )
+        orphan.write_bytes(b"half a checkpoint")
+        assert mgr.gc_orphans() == 1
+        assert not orphan.exists()
+        assert mgr.epochs() == [1]  # the real checkpoint untouched
+
+    def test_gc_orphans_spares_foreign_tmp_files(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        foreign = tmp_path / "scratch.tmp"
+        foreign.write_bytes(b"someone else's")
+        assert mgr.gc_orphans() == 0
+        assert foreign.exists()
+
+    def test_save_survives_simulated_crash_before_rename(self, tmp_path):
+        from repro.fanstore.crash import CrashPlan, SimulatedCrashError
+
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(1, {"w": [1, 2]})
+        with CrashPlan().crash_at("apply.tmp_written"):
+            with pytest.raises(SimulatedCrashError):
+                mgr.save(2, {"w": [3, 4]})
+        # the old resume point is intact, the torn save never surfaced
+        assert mgr.epochs() == [1]
+        assert mgr.load(1).payload == {"w": [1, 2]}
+        assert mgr.gc_orphans() == 1  # and the orphan is collectable

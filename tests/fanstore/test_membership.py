@@ -120,8 +120,8 @@ class TestClusterView:
 
 class TestMergeTotalOrder:
     """The documented merge total order: lexicographic
-    ``(version, severity)`` per rank, max epochs — except equal-epoch
-    parallel histories whose DEAD sets diverge, which bump past both."""
+    ``(version, severity)`` per rank, max epochs — except an equal-epoch
+    merge carrying an unseen conviction, which bumps past both."""
 
     def test_equal_epoch_dead_divergence_bumps_past_both(self):
         a = ClusterView(4)
@@ -137,6 +137,21 @@ class TestMergeTotalOrder:
         assert a.epoch == b2.epoch == 2
         assert a == b2  # and the bump is symmetric (commutative merge)
         assert a.dead_ranks() == [1, 2]
+
+    def test_equal_epoch_readmission_does_not_bump(self):
+        # the rejoin handshake propagating by gossip: the serving peer
+        # re-admitted the corpse as SUSPECT at a higher version. That is
+        # not a parallel history — the promotion completing the rejoin
+        # bumps on its own, and bumping here too would leave a healed
+        # cluster one epoch past the handshake's count.
+        server = ClusterView(3)
+        other = ClusterView(3)
+        for v in (server, other):
+            v.set_state(2, RankState.DEAD, bump_epoch=True)  # epoch 1
+        server.set_state(2, RankState.SUSPECT)  # join served: higher version
+        changed = other.merge(server)
+        assert changed == [(2, RankState.DEAD, RankState.SUSPECT)]
+        assert other.epoch == 1  # no divergence bump on the way back
 
     def test_equal_epoch_suspect_churn_never_bumps(self):
         a = ClusterView(3)
