@@ -13,8 +13,14 @@ collectives — that pass no explicit ``timeout``/deadline argument.
 An explicit ``timeout=None`` is accepted: it states *on purpose, block
 forever* (the daemon's idle serve loop does this), which is a visible
 decision rather than an inherited default. ``try_recv`` and eager
-``send`` never block and are out of scope. Genuine exceptions use the
-standard waiver syntax::
+``send`` never block and are out of scope.
+
+The typed wire envelope is held to the same bar: a
+``Request(...)`` constructor call in fanstore code without a
+``deadline=`` keyword ships a request the server can never drop as
+expired — every envelope must state its expiry (``deadline=None`` is,
+again, a visible opt-out). Genuine exceptions use the standard waiver
+syntax::
 
     comm.recv(peer, tag)  # lint: allow[deadline-propagation] reason
 """
@@ -79,6 +85,18 @@ class DeadlinePropagationPass(LintPass):
         for node in ast.walk(src.tree):
             if not isinstance(node, ast.Call):
                 continue
+            if self._is_undeadlined_envelope(node):
+                findings.append(
+                    self.finding(
+                        src,
+                        node.lineno,
+                        "Request envelope built without a deadline= "
+                        "keyword; the server can never drop this request "
+                        "as expired (pass deadline=None to state 'no "
+                        "expiry' on purpose)",
+                    )
+                )
+                continue
             method = _missing_timeout(node)
             if method is None:
                 continue
@@ -93,3 +111,15 @@ class DeadlinePropagationPass(LintPass):
                 )
             )
         return findings
+
+    @staticmethod
+    def _is_undeadlined_envelope(call: ast.Call) -> bool:
+        fn = call.func
+        name = fn.id if isinstance(fn, ast.Name) else (
+            fn.attr if isinstance(fn, ast.Attribute) else None
+        )
+        if name != "Request":
+            return False
+        if any(kw.arg is None for kw in call.keywords):
+            return False  # **kwargs may carry it
+        return not any(kw.arg == "deadline" for kw in call.keywords)

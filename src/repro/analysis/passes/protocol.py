@@ -16,17 +16,22 @@ recovers the protocol from the AST and checks:
 2. the serve loop unpacks the request body with a starred target, so
    all arities parse;
 3. every wire body the request helper builds is one of the
-   2/3/4/5-tuple forms, and the epoch-fenced 5-tuple is among them (a
-   helper that only builds the shorter forms sends mutations the
-   server can never fence as stale — split-brain protection silently
-   dropped).
+   2/3/4/5-tuple forms *or* a typed v2 envelope
+   (``Request(...).encode()``, see :mod:`repro.fanstore.wire`), and a
+   fenced form — the 5-tuple, or an envelope carrying an ``epoch=``
+   token — is among them (a helper that only builds unfenced forms
+   sends mutations the server can never fence as stale — split-brain
+   protection silently dropped). An envelope built without ``epoch=``
+   is flagged directly: the field exists precisely so no sender has an
+   excuse to drop the token.
 
 Recognised idioms: a *dispatcher* is any method that calls
 ``recv``/``try_recv`` with a ``TAG_<NAME>`` constant; its handled kinds
 are the string literals compared against a name inside it. A *request
 helper* is a method that sends ``(param, ...)`` on a tag, where
 ``param`` is one of its own parameters — calls to it with a literal
-first argument emit that literal as a kind.
+first argument emit that literal as a kind. A wire body is an
+*envelope* when it is a call to a constructor named ``Request``.
 """
 
 from __future__ import annotations
@@ -262,8 +267,30 @@ class ProtocolConformancePass(LintPass):
     ) -> list[Finding]:
         findings = []
         arities: set[int] = set()
+        envelopes = 0
+        fenced_envelope = False
         first_line = helper.node.lineno
         for node in ast.walk(helper.node):
+            if (
+                isinstance(node, ast.Call)
+                and _terminal_name(node.func) == "Request"
+            ):
+                envelopes += 1
+                kwargs = {kw.arg for kw in node.keywords}
+                if "epoch" in kwargs:
+                    fenced_envelope = True
+                else:
+                    findings.append(
+                        self.finding(
+                            src,
+                            node.lineno,
+                            "request envelope built without an epoch= "
+                            "fencing token; the server cannot reject this "
+                            "request when it was decided under a stale "
+                            "membership view",
+                        )
+                    )
+                continue
             if not isinstance(node, ast.Tuple):
                 continue
             if not any(
@@ -279,18 +306,24 @@ class ProtocolConformancePass(LintPass):
                         node.lineno,
                         f"wire body built with {len(node.elts)} fields; the "
                         "protocol defines only (subject, reply_tag"
-                        "[, trace_ctx[, deadline[, epoch]]])",
+                        "[, trace_ctx[, deadline[, epoch]]]) or a typed "
+                        "Request envelope",
                     )
                 )
-        if arities and arities.isdisjoint({5}):
+        if (
+            (arities or envelopes)
+            and arities.isdisjoint({5})
+            and not fenced_envelope
+        ):
             findings.append(
                 self.finding(
                     src,
                     first_line,
-                    f"{helper.cls}.{helper.node.name} never builds the "
-                    "epoch-fenced 5-tuple body; without a fencing token "
-                    "the server cannot reject this request when it was "
-                    "decided under a stale membership view",
+                    f"{helper.cls}.{helper.node.name} never builds a fenced "
+                    "wire body (the epoch 5-tuple or a Request envelope "
+                    "with epoch=); without a fencing token the server "
+                    "cannot reject this request when it was decided under "
+                    "a stale membership view",
                 )
             )
         return findings

@@ -97,6 +97,12 @@ class InvalidArgumentError(FanStoreError, OSError):
         self.filename = path
 
 
+class WireFormatError(FanStoreError, FormatError):
+    """A daemon wire body (request envelope or reply) is structurally
+    malformed — neither a v2 envelope nor a legacy positional tuple. A
+    server counts it as a malformed request; it never crashes on one."""
+
+
 class CapacityError(FanStoreError):
     """A node's burst buffer cannot host the data assigned to it."""
 

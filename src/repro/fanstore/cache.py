@@ -20,8 +20,10 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.errors import FanStoreError
+from repro.fanstore.pipeline import SingleFlight
 
 
 @dataclass
@@ -34,6 +36,8 @@ class CacheStats:
     evictions: int = 0
     rejected: int = 0  # entries larger than the whole cache
     quarantined: int = 0  # entries discarded after integrity failures
+    singleflight_leaders: int = 0  # get_or_compute misses that ran the factory
+    singleflight_followers: int = 0  # concurrent misses that shared a flight
 
     @property
     def hit_rate(self) -> float:
@@ -68,6 +72,7 @@ class DecompressedCache:
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
         self._resident = 0
         self.stats = CacheStats()
+        self._flight = SingleFlight()
 
     # -- core protocol ----------------------------------------------------
 
@@ -120,6 +125,43 @@ class DecompressedCache:
             if len(data) > self.capacity_bytes:
                 self.stats.rejected += 1
             return data
+
+    def get_or_compute(
+        self, path: str, factory: Callable[[], bytes]
+    ) -> bytes:
+        """Pinned bytes for ``path``, computing on a miss — at most one
+        ``factory()`` execution per miss storm.
+
+        A plain ``open() → factory() → insert()`` sequence lets N
+        threads missing the same key decompress N times (the raced
+        :meth:`insert` keeps one copy, but the CPU is already burned).
+        Here the first misser becomes the single-flight leader — it runs
+        ``factory`` and installs the result (taking its pin from
+        :meth:`insert`) — and every concurrent misser waits for that
+        flight, then pins the installed entry for itself. A leader
+        failure propagates to that round's followers; the next caller
+        starts a fresh flight. Always returns pinned bytes; pair with
+        :meth:`close`.
+        """
+        data = self.open(path)
+        if data is not None:
+            return data
+        while True:
+            def _lead() -> bytes:
+                return self.insert(path, factory())
+
+            value, led = self._flight.run(path, _lead)
+            if led:
+                self.stats.singleflight_leaders += 1
+                return value
+            self.stats.singleflight_followers += 1
+            # the leader's pin is its own: take ours. The entry can have
+            # been evicted between the leader's insert and this open
+            # (leader closed it already, retention off) — rare; loop and
+            # become the next leader.
+            data = self.open(path)
+            if data is not None:
+                return data
 
     def close(self, path: str) -> None:
         """Unpin; with the paper's policy a zero count frees the entry
@@ -179,6 +221,13 @@ class DecompressedCache:
             "opens", "hits", "misses", "evictions", "rejected", "quarantined"
         ):
             metrics.bind_counter(f"cache.{name}", self.stats, name)
+        metrics.bind_counter(
+            "cache.singleflight.leaders", self.stats, "singleflight_leaders"
+        )
+        metrics.bind_counter(
+            "cache.singleflight.followers", self.stats,
+            "singleflight_followers",
+        )
         metrics.bind_gauge("cache.hit_ratio", fn=lambda: self.stats.hit_rate)
         metrics.bind_gauge("cache.resident_bytes", fn=lambda: self._resident)
 

@@ -17,33 +17,39 @@ One daemon runs per node (here: per rank of the in-process world). It
 
 Message protocol (all on ``TAG_DAEMON``; replies on caller-chosen tags):
 
-=========== ====================================================  =========================
-kind        payload                                               reply
-=========== ====================================================  =========================
-fetch       (path, reply_tag[, trace_ctx[, deadline[, epoch]]])   (ok, compressed|error)
-stat        (path, reply_tag[, trace_ctx[, deadline[, epoch]]])   (ok, FileRecord|None)
-write_meta  (FileRecord, reply_tag[, trace_ctx[, deadline[, epoch]]])  (ok, None)
-stop        —                                                     —
-=========== ====================================================  =========================
+=========== =============================================  =========================
+kind        payload                                        reply
+=========== =============================================  =========================
+fetch       Request envelope (subject = path)              (ok, compressed|error)
+stat        Request envelope (subject = path)              (ok, FileRecord|None)
+write_meta  Request envelope (subject = FileRecord)        (ok, None)
+batch       Request envelope (batch = item triples)        (BATCH, item replies)
+stop        —                                              —
+=========== =============================================  =========================
 
-The optional third body element is the :mod:`repro.obs.tracing` wire
-context ``(trace_id, parent_span_id)`` — or ``None`` when the sender is
-untraced but still stamps a deadline: when the requester is inside a
-trace, the serving rank's span joins that trace, so one ``client.read``
-is reconstructable across every rank it touched. The optional fourth
-element is the request's absolute deadline (a shared
-``time.monotonic()`` reading, see :mod:`repro.comm.deadline`): a server
-drops work whose deadline already expired instead of replying into the
-void, and sheds queue overflow with an ``(_OVERLOAD, retry_after_s)``
-reply so clients back off instead of retry-storming. The optional fifth
-element is the sender's *fencing token* — its membership view epoch (or
-``None`` when no detector is attached): a mutating request
-(``write_meta``) whose token is older than the server's view is
-answered with ``(_FENCED, server_epoch)`` instead of being applied, so
-a rank healing out of a minority partition cannot clobber majority
-state with decisions made under a stale view. Two-, three-, and
-four-element bodies (every pre-fencing sender) are served identically,
-unfenced.
+Every request body is a :class:`repro.fanstore.wire.Request` envelope —
+one typed record carrying ``subject``, ``reply_tag``, ``trace_ctx``,
+``deadline``, ``epoch``, and ``batch`` by name, encoded as a versioned
+self-identifying tuple (see :mod:`repro.fanstore.wire` for the wire
+layout and forward-compatibility rules). Semantics are unchanged from
+the positional era: a traced requester's context is adopted so one
+``client.read`` is reconstructable across every rank it touched; work
+whose absolute deadline already expired is dropped instead of answered
+into the void; queue overflow is shed with an
+``(_OVERLOAD, retry_after_s)`` reply so clients back off instead of
+retry-storming; and a mutating request (``write_meta``) whose fencing
+token (membership view epoch) is older than the server's is answered
+``(_FENCED, server_epoch)`` rather than applied, so a rank healing out
+of a minority partition cannot clobber majority state. Legacy
+positional 2/3/4/5-tuple bodies still decode through the compatibility
+shim in :func:`repro.fanstore.wire.decode_request` (with a
+``DeprecationWarning``) and are served identically.
+
+A ``batch`` envelope is a client-side flush of small same-destination
+requests: its ``batch`` field holds ``(kind, subject, deadline)``
+triples, served in order with per-item deadline checks and per-item
+error isolation, answered as one ``(BATCH, (item replies...))`` on the
+envelope's reply tag.
 """
 
 from __future__ import annotations
@@ -53,8 +59,11 @@ import logging
 import random
 import threading
 import time
+import warnings
 import zlib
-from dataclasses import dataclass
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any
 
@@ -73,6 +82,7 @@ from repro.errors import (
     RetryExhaustedError,
     ServerOverloadedError,
     StaleEpochError,
+    WireFormatError,
 )
 from repro.fanstore.backend import DiskBackend, RamBackend
 from repro.fanstore.cache import DecompressedCache
@@ -100,7 +110,17 @@ from repro.fanstore.metadata import (
     RereplicationStep,
     normalize,
 )
+from repro.fanstore.pipeline import PipelineConfig, SingleFlight
 from repro.fanstore.prepare import PreparedDataset
+from repro.fanstore.wire import (
+    Reply,
+    Request,
+    decode_batch_reply,
+    decode_request,
+    encode_batch_reply,
+)
+from repro.fanstore.wire import FENCED as _WIRE_FENCED
+from repro.fanstore.wire import OVERLOAD as _WIRE_OVERLOAD
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import NULL_SPAN, Tracer
 
@@ -109,15 +129,17 @@ _REPLY_TAG_BASE = 0x1000
 
 #: first element of a shed request's reply — never a valid ``ok`` bool,
 #: so legacy callers cannot mistake it for data. The second element is
-#: the server's suggested back-off in seconds.
-_OVERLOAD = "__overloaded__"
+#: the server's suggested back-off in seconds. (Canonical home:
+#: :data:`repro.fanstore.wire.OVERLOAD`; aliased here for the drills.)
+_OVERLOAD = _WIRE_OVERLOAD
 
 #: first element of a fenced-off mutating request's reply: the sender's
 #: fencing token (membership view epoch) was older than the server's,
 #: so the mutation was refused. The second element is the server's
 #: epoch — the sender must catch up to at least that view (rejoin,
 #: merge gossip) before the mutation can be meaningful again.
-_FENCED = "__stale_epoch__"
+#: (Canonical home: :data:`repro.fanstore.wire.FENCED`.)
+_FENCED = _WIRE_FENCED
 
 #: load-time collectives (metadata allgather) are not on the request
 #: hot path; they get a generous fixed budget rather than the per-
@@ -297,6 +319,50 @@ class DaemonConfig:
     #: of a minority partition from clobbering majority state; disable
     #: only to measure what it buys (see ``benchmarks/bench_partition``).
     epoch_fencing: bool = True
+    #: the pipelined-scheduler knob group (worker pool width, in-flight
+    #: bound, client-side batching limits) — see
+    #: :class:`repro.fanstore.pipeline.PipelineConfig` for each knob.
+    #: ``PipelineConfig(pipeline_workers=0, batch_max=1)`` restores the
+    #: fully blocking pre-pipeline daemon.
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+
+
+class _BatchTicket:
+    """One parked small request awaiting a batched flush.
+
+    ``outcome`` is written under its batcher's lock and read after
+    ``event`` fires: ``("lead", None)`` elects the waiter as the next
+    flush leader, ``("reply", Reply)`` hands it its decoded item reply,
+    ``("fallback", None)`` tells it to retry through the classic
+    single-request ladder. ``cancelled`` marks a waiter that gave up at
+    its deadline — a flush leader skips it rather than answering a
+    walked-away caller."""
+
+    __slots__ = ("kind", "subject", "deadline", "event", "outcome",
+                 "cancelled")
+
+    def __init__(
+        self, kind: str, subject: Any, deadline: Deadline | None
+    ) -> None:
+        self.kind = kind
+        self.subject = subject
+        self.deadline = deadline
+        self.event = threading.Event()
+        self.outcome: tuple[str, Any] | None = None
+        self.cancelled = False
+
+
+class _DestBatcher:
+    """Per-destination batching state: ``busy`` is the flush baton (one
+    in-flight exchange per destination at a time), ``pending`` the
+    tickets parked behind it."""
+
+    __slots__ = ("lock", "busy", "pending")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.busy = False
+        self.pending: "deque[_BatchTicket]" = deque()
 
 
 class FanStoreDaemon:
@@ -313,9 +379,10 @@ class FanStoreDaemon:
         journal_dir: Any = None,
         journal_config: JournalConfig | None = None,
         disk_injector: DiskFaultInjector | None = None,
+        **legacy: Any,
     ) -> None:
         self.comm = comm
-        self.config = config or DaemonConfig()
+        self.config = self._resolve_config(config, legacy)
         self.backend = backend if backend is not None else RamBackend()
         self.registry = registry or default_registry()
         self.metadata = MetadataTable()
@@ -348,6 +415,24 @@ class FanStoreDaemon:
         self._service_thread: threading.Thread | None = None
         self._reply_tags = itertools.count(_REPLY_TAG_BASE + self.rank * 1_000_000)
         self._reply_lock = threading.Lock()
+        #: pipelined scheduler state (PR 9): client-side single-flight
+        #: coalescing of identical fetches, per-destination request
+        #: batchers, and the serve-side in-flight gauge + counters.
+        self._fetch_flight = SingleFlight()
+        self._batch_lock = threading.Lock()
+        self._batchers: dict[int, _DestBatcher] = {}
+        self._inflight = 0
+        self.metrics.bind_gauge("daemon.pipeline.inflight", self, "_inflight")
+        self._m_dispatched = self.metrics.counter("daemon.pipeline.dispatched")
+        self._m_coalesced = self.metrics.counter(
+            "daemon.pipeline.coalesced_fetches"
+        )
+        self._m_batch_flushes = self.metrics.counter("daemon.batch.flushes")
+        self._m_batch_items = self.metrics.counter("daemon.batch.items")
+        self._m_batch_fallbacks = self.metrics.counter(
+            "daemon.batch.fallbacks"
+        )
+        self._m_batch_served = self.metrics.counter("daemon.batch.served")
         self._loaded_bytes = 0
         self._prepared: PreparedDataset | None = None
         # replica paths this rank acquired during ring replication,
@@ -407,6 +492,34 @@ class FanStoreDaemon:
         if isinstance(self.backend, DiskBackend):
             self.backend.rank = self.rank
 
+    _LEGACY_PIPELINE_KWARGS = (
+        "pipeline_workers", "max_inflight", "batch_max", "batch_linger"
+    )
+
+    @classmethod
+    def _resolve_config(
+        cls, config: DaemonConfig | None, legacy: dict[str, Any]
+    ) -> DaemonConfig:
+        """Fold deprecated ad-hoc scheduler kwargs into the coherent
+        ``config.pipeline`` group. Unknown kwargs stay a TypeError."""
+        base = config or DaemonConfig()
+        if not legacy:
+            return base
+        unknown = [k for k in legacy if k not in cls._LEGACY_PIPELINE_KWARGS]
+        if unknown:
+            raise TypeError(
+                "FanStoreDaemon() got unexpected keyword argument(s): "
+                + ", ".join(sorted(unknown))
+            )
+        warnings.warn(
+            "passing scheduler knobs as FanStoreDaemon keyword arguments "
+            "is deprecated; set DaemonConfig(pipeline=PipelineConfig(...)) "
+            "instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return replace(base, pipeline=replace(base.pipeline, **legacy))
+
     # -- loading ----------------------------------------------------------
 
     def _assigned_partitions(self, num_partitions: int) -> list[int]:
@@ -440,7 +553,11 @@ class FanStoreDaemon:
                 )
                 payload += e.compressed_size
         else:
-            entries = read_partition(partition_path, with_data=True)
+            # zero-copy RAM ingest: one read of the whole partition,
+            # payloads stored as memoryview slices of that buffer
+            entries = read_partition(
+                partition_path, with_data=True, zero_copy=True
+            )
             for e in entries:
                 assert e.data is not None
                 self.backend.put(e.path, e.data)
@@ -788,7 +905,11 @@ class FanStoreDaemon:
             ok, data = self._request("fetch", record.path, joiner, attempts=1)
         except (RetryExhaustedError, ServerOverloadedError, RankDeadError):
             return False
-        return bool(ok) and isinstance(data, bytes) and self._blob_ok(record, data)
+        return (
+            bool(ok)
+            and isinstance(data, (bytes, bytearray, memoryview))
+            and self._blob_ok(record, data)
+        )
 
     def membership_snapshot(
         self,
@@ -1105,40 +1226,122 @@ class FanStoreDaemon:
         self._service_thread = None
 
     def _serve(self) -> None:
+        """The event loop of the pipelined scheduler. The loop itself
+        only *admits* (recv → parse → bounded queue, shedding overflow)
+        and *dispatches*; with ``pipeline.pipeline_workers > 0`` the
+        actual serving — digest verify, backend reads, codec work —
+        happens on a worker pool, bounded by ``pipeline.max_inflight``,
+        so the loop never blocks on one slow request and admission
+        control stays live under load. ``pipeline_workers == 0`` is the
+        legacy inline mode: each request served to completion on this
+        thread (the blocking baseline of the saturation benchmark)."""
         comm = self.comm
         assert comm is not None
         queue = AdmissionQueue(self.config.max_queue_depth)
-        while True:
-            if not len(queue):
-                try:
-                    msg = comm.recv_with_status(
-                        ANY_SOURCE, TAG_DAEMON, timeout=None
-                    )
-                except (CommClosedError, CommError):
-                    return
-                if self._admit(queue, msg):
-                    return
-            # Drain whatever else already arrived before serving:
-            # admission control can only shed backlog it can see, and a
-            # burst must not be served strictly one-recv-at-a-time.
+        workers = self.config.pipeline.pipeline_workers
+        pool: ThreadPoolExecutor | None = None
+        slots: threading.BoundedSemaphore | None = None
+        stop = threading.Event()
+        if workers > 0:
+            pool = ThreadPoolExecutor(
+                max_workers=workers,
+                thread_name_prefix=f"fanstore-pipe-{self.rank}",
+            )
+            slots = threading.BoundedSemaphore(
+                self.config.pipeline.max_inflight
+            )
+        try:
             while True:
-                try:
-                    msg = comm.try_recv(ANY_SOURCE, TAG_DAEMON)
-                except (CommClosedError, CommError):
+                if not len(queue):
+                    try:
+                        msg = comm.recv_with_status(
+                            ANY_SOURCE, TAG_DAEMON, timeout=None
+                        )
+                    except (CommClosedError, CommError):
+                        return
+                    if self._admit(queue, msg):
+                        return
+                # Drain whatever else already arrived before serving:
+                # admission control can only shed backlog it can see,
+                # and a burst must not be served strictly
+                # one-recv-at-a-time.
+                while True:
+                    try:
+                        msg = comm.try_recv(ANY_SOURCE, TAG_DAEMON)
+                    except (CommClosedError, CommError):
+                        return
+                    if msg is None:
+                        break
+                    if self._admit(queue, msg):
+                        return
+                depth = len(queue)
+                self._queue_depth = depth
+                if depth >= self._brownout_depth:
+                    self._brownout_until = (
+                        time.monotonic() + self.config.brownout_hold_s
+                    )
+                entry = queue.pop()
+                if entry is None:
+                    continue
+                if pool is None:
+                    if not self._serve_one(entry):
+                        return
+                    continue
+                # Uncontended fast path: nothing in flight and nothing
+                # queued behind this entry means a pool hop buys no
+                # overlap — serve on the loop thread and skip the
+                # submit/wakeup cost. A lone client pays the same
+                # per-request price as the legacy inline loop (the
+                # single-client overhead gate in bench_saturation.py
+                # holds this to <= 5%); the reads of ``_inflight`` are
+                # racy on purpose — a stale nonzero just takes the pool
+                # path, a concurrent drain-to-zero just serves inline.
+                if self._inflight == 0 and not len(queue):
+                    if not self._serve_one(entry):
+                        return
+                    continue
+                # In-flight bound: while the pool is saturated, keep
+                # draining + shedding the mailbox instead of blocking —
+                # a stalled pool must not take admission control down
+                # with it.
+                assert slots is not None
+                while not slots.acquire(timeout=0.02):
+                    if stop.is_set():
+                        return
+                    while True:
+                        try:
+                            msg = comm.try_recv(ANY_SOURCE, TAG_DAEMON)
+                        except (CommClosedError, CommError):
+                            return
+                        if msg is None:
+                            break
+                        if self._admit(queue, msg):
+                            return
+                if stop.is_set():
+                    slots.release()
                     return
-                if msg is None:
-                    break
-                if self._admit(queue, msg):
-                    return
-            depth = len(queue)
-            self._queue_depth = depth
-            if depth >= self._brownout_depth:
-                self._brownout_until = (
-                    time.monotonic() + self.config.brownout_hold_s
-                )
-            entry = queue.pop()
-            if entry is not None and not self._serve_one(entry):
-                return
+                self._m_dispatched.inc()
+                self._inflight += 1
+                pool.submit(self._serve_async, entry, slots, stop)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False)
+
+    def _serve_async(
+        self,
+        entry: tuple,
+        slots: threading.BoundedSemaphore,
+        stop: threading.Event,
+    ) -> None:
+        """One pooled request: serve it, then free its in-flight slot.
+        A terminal serve outcome (world teardown) flips ``stop`` so the
+        dispatch loop exits at its next slot acquisition."""
+        try:
+            if not self._serve_one(entry):
+                stop.set()
+        finally:
+            self._inflight -= 1
+            slots.release()
 
     def _admit(self, queue: AdmissionQueue, msg: tuple) -> bool:
         """Parse one envelope into the admission queue, shedding
@@ -1147,11 +1350,13 @@ class FanStoreDaemon:
         shed reply).
 
         A malformed message must not kill the service loop — the daemon
-        outlives misbehaving clients (it answers to every peer, not
-        just the sender). The optional third body element is the
-        requester's trace context (or None), the optional fourth its
-        absolute deadline, the optional fifth its fencing token (a view
-        epoch, or None); anything past that is malformed.
+        outlives misbehaving clients (it answers to every peer, not just
+        the sender). Bodies decode through
+        :func:`repro.fanstore.wire.decode_request` — v2 envelopes and
+        legacy positional tuples alike; anything neither is malformed.
+        A batch envelope is admitted against the *earliest* of its
+        items' deadlines: the whole flush is droppable only once every
+        waiter behind it has walked away.
         """
         payload, source, _tag = msg
         try:
@@ -1161,25 +1366,27 @@ class FanStoreDaemon:
             return False
         if kind == "stop":
             return True
-        if kind not in ("fetch", "stat", "write_meta"):
+        if kind not in ("fetch", "stat", "write_meta", "batch"):
             self.stats.malformed_requests += 1
             return False
         try:
-            subject, reply_tag, *rest = body
-        except (TypeError, ValueError):
+            request = decode_request(body)
+        except (WireFormatError, TypeError, ValueError):
             self.stats.malformed_requests += 1
             return False
-        if len(rest) > 3 or not isinstance(reply_tag, int) or reply_tag < 0:
-            self.stats.malformed_requests += 1
-            return False
-        trace_wire = rest[0] if rest else None
-        deadline_at = wire_deadline(rest[1]) if len(rest) > 1 else None
-        epoch = rest[2] if len(rest) > 2 else None
-        if epoch is not None and not isinstance(epoch, int):
-            self.stats.malformed_requests += 1
-            return False
-        entry = (kind, subject, reply_tag, source, trace_wire, deadline_at,
-                 epoch)
+        deadline_at = request.deadline
+        if kind == "batch" and request.batch:
+            item_expiries = [
+                wire_deadline(item[2])
+                for item in request.batch
+                if isinstance(item, tuple) and len(item) == 3
+            ]
+            live = [at for at in item_expiries if at is not None]
+            if live and len(live) == len(item_expiries):
+                # per-item expiry is enforced inside _serve_batch; the
+                # envelope itself is dead only once its *last* waiter is
+                deadline_at = max(live)
+        entry = (kind, request, source)
         shed = queue.push(entry, deadline_at)
         if shed:
             # shedding is the overload signal: enter brownout
@@ -1187,11 +1394,11 @@ class FanStoreDaemon:
                 time.monotonic() + self.config.brownout_hold_s
             )
         retry_after = self.config.overload_retry_after_s
-        for _, _, victim_tag, victim_source, _, _, _ in shed:
+        for _, victim, victim_source in shed:
             self.stats.shed_requests += 1
             try:
                 self.comm.send(
-                    (_OVERLOAD, retry_after), victim_source, victim_tag
+                    (_OVERLOAD, retry_after), victim_source, victim.reply_tag
                 )
             except (CommClosedError, CommError):
                 return True
@@ -1201,9 +1408,10 @@ class FanStoreDaemon:
         """Serve one admitted request; False ends the service loop."""
         comm = self.comm
         assert comm is not None
-        kind, subject, reply_tag, source, trace_wire, deadline_at, epoch = (
-            entry
-        )
+        kind, request, source = entry
+        subject = request.subject
+        reply_tag = request.reply_tag
+        deadline_at = request.deadline
         if deadline_at is not None and time.monotonic() >= deadline_at:
             # the requester has already timed out and walked away:
             # serving — or even refusing — would be work for nobody
@@ -1213,9 +1421,9 @@ class FanStoreDaemon:
         # NULL_SPAN, never an error — tracing must not change what
         # gets served.
         span = (
-            self.tracer.adopt(trace_wire, f"daemon.serve.{kind}",
+            self.tracer.adopt(request.trace_ctx, f"daemon.serve.{kind}",
                               source=source)
-            if trace_wire is not None else NULL_SPAN
+            if request.trace_ctx is not None else NULL_SPAN
         )
         try:
             with span:
@@ -1243,8 +1451,10 @@ class FanStoreDaemon:
                         comm.send((False, None), source, reply_tag)
                     else:
                         comm.send((True, rec), source, reply_tag)
+                elif kind == "batch":
+                    self._serve_batch(request, source)
                 else:  # write_meta
-                    if self._stale_epoch(epoch):
+                    if self._stale_epoch(request.epoch):
                         # a mutation decided under a pre-partition view:
                         # fence it off rather than let a healed minority
                         # clobber majority state
@@ -1266,6 +1476,57 @@ class FanStoreDaemon:
             # path type, bogus write_meta record) is still malformed
             self.stats.malformed_requests += 1
         return True
+
+    def _serve_batch(self, request: Request, source: int) -> None:
+        """Serve one batched flush: every item in order, each with its
+        own deadline check and error isolation (one poisoned item fails
+        only its own waiter), answered as a single batch reply on the
+        envelope's tag."""
+        replies = [
+            self._serve_batch_item(item) for item in (request.batch or ())
+        ]
+        self._m_batch_served.inc()
+        self.comm.send(
+            encode_batch_reply(replies), source, request.reply_tag
+        )
+
+    def _serve_batch_item(self, item: Any) -> Reply:
+        """One batch item → one item reply; never raises (comm errors
+        excepted — those belong to the envelope send)."""
+        try:
+            kind, subject, expiry = item
+        except (TypeError, ValueError):
+            self.stats.malformed_requests += 1
+            return Reply(Reply.FAILED, None)
+        try:
+            expiry = wire_deadline(expiry)
+            if expiry is not None and time.monotonic() >= expiry:
+                self.stats.deadline_expired_drops += 1
+                return Reply(Reply.EXPIRED, subject)
+            if kind == "fetch":
+                self.stats.served_requests += 1
+                try:
+                    data = self._verified_local(subject)
+                except FileNotFoundInStoreError:
+                    return Reply(Reply.MISS, subject)
+                except DataIntegrityError:
+                    # the batched analog of the classic no-reply
+                    # silence: only this waiter falls back to the
+                    # single-request ladder (replicas, shared FS)
+                    return Reply(Reply.FAILED, subject)
+                return Reply(Reply.OK, data)
+            if kind == "stat":
+                try:
+                    rec = self.metadata.get(subject)
+                except FileNotFoundInStoreError:
+                    return Reply(Reply.MISS, None)
+                return Reply(Reply.OK, rec)
+            # mutating kinds never batch (write_meta needs fencing)
+            self.stats.malformed_requests += 1
+            return Reply(Reply.FAILED, None)
+        except (FanStoreError, TypeError, ValueError, AttributeError):
+            self.stats.malformed_requests += 1
+            return Reply(Reply.FAILED, None)
 
     # -- data path ------------------------------------------------------------
 
@@ -1360,14 +1621,15 @@ class FanStoreDaemon:
             try:
                 with span:
                     ctx = span.context()
-                    wire_body = (
-                        body, reply_tag,
-                        None if ctx is None else ctx.as_wire(),
-                        time.monotonic() + attempt_timeout,
+                    wire_body = Request(
+                        subject=body,
+                        reply_tag=reply_tag,
+                        trace_ctx=None if ctx is None else ctx.as_wire(),
+                        deadline=time.monotonic() + attempt_timeout,
                         # fencing token re-read per attempt: a view that
                         # advances mid-ladder fences with the fresh epoch
-                        self._fence_token(),
-                    )
+                        epoch=self._fence_token(),
+                    ).encode()
                     comm.send((kind, wire_body), dest, TAG_DAEMON)
                     reply = comm.recv(dest, reply_tag, timeout=attempt_timeout)
             except (CommClosedError, RankDeadError):
@@ -1421,6 +1683,245 @@ class FanStoreDaemon:
             f"after {attempts} attempt(s): {last_exc}",
             path=path,
         ) from last_exc
+
+    # -- per-destination request batching ------------------------------------
+
+    def _batcher(self, dest: int) -> _DestBatcher:
+        with self._batch_lock:
+            batcher = self._batchers.get(dest)
+            if batcher is None:
+                batcher = self._batchers[dest] = _DestBatcher()
+            return batcher
+
+    def _batched_request(
+        self,
+        kind: str,
+        subject: Any,
+        dest: int,
+        *,
+        deadline: Deadline | None = None,
+    ) -> tuple[bool, Any]:
+        """A small request that may ride a batched flush.
+
+        The first caller per destination takes the *baton* and runs a
+        classic :meth:`_request` (an idle destination pays zero batching
+        overhead — no linger, no envelope change); callers arriving
+        while the baton is out park as tickets. When the baton frees, a
+        parked ticket is elected flush leader: it lingers briefly, packs
+        up to ``batch_max`` parked tickets into one ``batch`` envelope,
+        and fans the item replies back to their waiters. Any batch-level
+        failure degrades every waiter to the classic ladder — batching
+        is an optimization, never a new failure mode. Hedged fetches and
+        mutating requests must not come through here.
+        """
+        comm = self.comm
+        cfg = self.config.pipeline
+        if comm is None or cfg.batch_max <= 1:
+            return self._request(kind, subject, dest, deadline=deadline)
+        batcher = self._batcher(dest)
+        ticket: _BatchTicket | None = None
+        with batcher.lock:
+            if not batcher.busy:
+                batcher.busy = True
+            else:
+                ticket = _BatchTicket(kind, subject, deadline)
+                batcher.pending.append(ticket)
+        if ticket is None:
+            try:
+                return self._request(kind, subject, dest, deadline=deadline)
+            finally:
+                self._pass_baton(batcher)
+        while ticket.outcome is None:
+            timeout = (
+                None if ticket.deadline is None
+                else max(0.0, ticket.deadline.remaining())
+            )
+            if not ticket.event.wait(timeout):
+                with batcher.lock:
+                    aborted = ticket.outcome is None
+                    if aborted:
+                        ticket.cancelled = True
+                        try:
+                            batcher.pending.remove(ticket)
+                        except ValueError:
+                            pass
+                if aborted:
+                    self.stats.deadline_aborts += 1
+                    raise DeadlineExpiredError(
+                        f"rank {self.rank}: batched {kind} request to rank "
+                        f"{dest} abandoned while parked: deadline expired",
+                        subject if isinstance(subject, str) else None,
+                    )
+        action, value = ticket.outcome
+        if action == "lead":
+            return self._lead_flush(batcher, dest, ticket)
+        if action == "reply":
+            return self._consume_item_reply(
+                kind, subject, dest, deadline, value
+            )
+        # "fallback": the flush died at the envelope level; retry classic
+        self._m_batch_fallbacks.inc()
+        return self._request(kind, subject, dest, deadline=deadline)
+
+    def _pass_baton(self, batcher: _DestBatcher) -> None:
+        """Hand the per-destination baton to the oldest live parked
+        ticket (electing it flush leader), or retire it."""
+        with batcher.lock:
+            while batcher.pending:
+                ticket = batcher.pending.popleft()
+                if ticket.cancelled:
+                    continue
+                ticket.outcome = ("lead", None)
+                ticket.event.set()
+                return
+            batcher.busy = False
+
+    def _lead_flush(
+        self, batcher: _DestBatcher, dest: int, own: _BatchTicket
+    ) -> tuple[bool, Any]:
+        """Run one batched flush as its elected leader: linger, pack the
+        parked tickets, exchange, fan the item replies out. Every
+        grouped ticket is answered even when the exchange raises — a
+        torn-down world must not strand parked waiters.
+
+        The baton is handed on the moment the group is sealed — before
+        the network round trip — so the next elected leader packs and
+        sends while this envelope is still on the wire. Serializing
+        flushes behind one baton would cap throughput at one round trip
+        per destination at a time, below the blocking baseline's free
+        concurrency; pipelined flushes keep ``batch_max`` fewer round
+        trips *and* overlapping exchanges."""
+        cfg = self.config.pipeline
+        baton_passed = False
+        try:
+            if cfg.batch_linger > 0:
+                with batcher.lock:
+                    waiting = len(batcher.pending)
+                # linger only while the batch could still fill: a full
+                # backlog packs immediately, no latency added
+                if waiting < cfg.batch_max - 1:
+                    pause = cfg.batch_linger
+                    if own.deadline is not None:
+                        pause = own.deadline.cap(pause)
+                    if pause > 0:
+                        time.sleep(pause)
+            group = [own]
+            with batcher.lock:
+                while batcher.pending and len(group) < cfg.batch_max:
+                    ticket = batcher.pending.popleft()
+                    if ticket.cancelled:
+                        continue
+                    group.append(ticket)
+            self._pass_baton(batcher)
+            baton_passed = True
+            if len(group) == 1:
+                return self._request(
+                    own.kind, own.subject, dest, deadline=own.deadline
+                )
+            replies: list[Reply] | None = None
+            try:
+                replies = self._exchange_batch(dest, group)
+            finally:
+                for i, ticket in enumerate(group):
+                    if ticket is own:
+                        continue
+                    ticket.outcome = (
+                        ("fallback", None) if replies is None
+                        else ("reply", replies[i])
+                    )
+                    ticket.event.set()
+            if replies is None:
+                self._m_batch_fallbacks.inc()
+                return self._request(
+                    own.kind, own.subject, dest, deadline=own.deadline
+                )
+            return self._consume_item_reply(
+                own.kind, own.subject, dest, own.deadline, replies[0]
+            )
+        finally:
+            if not baton_passed:
+                self._pass_baton(batcher)
+
+    def _exchange_batch(
+        self, dest: int, group: list[_BatchTicket]
+    ) -> list[Reply] | None:
+        """One batched request/reply exchange; ``None`` means the whole
+        flush must degrade to classic per-item requests (comm timeout,
+        envelope-level shed or fence, malformed reply). World teardown
+        (:class:`CommClosedError`) and our own injected death
+        (:class:`RankDeadError`) still raise — no retry survives those.
+        """
+        comm = self.comm
+        assert comm is not None
+        cfg = self.config
+        now = time.monotonic()
+        items = []
+        latest = now
+        for ticket in group:
+            expiry = (
+                ticket.deadline.at if ticket.deadline is not None
+                else now + cfg.request_timeout
+            )
+            latest = max(latest, expiry)
+            items.append((ticket.kind, ticket.subject, expiry))
+        budget = max(1e-3, min(latest - now, cfg.request_timeout))
+        reply_tag = self._next_reply_tag()
+        request = Request(
+            subject=None,
+            reply_tag=reply_tag,
+            trace_ctx=None,
+            deadline=now + budget,
+            epoch=self._fence_token(),
+            batch=tuple(items),
+        )
+        t0 = time.perf_counter()
+        try:
+            comm.send(("batch", request.encode()), dest, TAG_DAEMON)
+            raw = comm.recv(dest, reply_tag, timeout=budget)
+        except (CommClosedError, RankDeadError):
+            raise
+        except CommError:
+            self.health.failure(dest)
+            return None
+        try:
+            replies = decode_batch_reply(raw)
+        except WireFormatError:
+            replies = None
+        if replies is None or len(replies) != len(group):
+            # an envelope-level shed/fence or a malformed reply: the
+            # classic per-item fallback handles overload and fencing
+            # with their full semantics (backoff, typed errors)
+            self.health.failure(dest)
+            return None
+        self.health.observe(dest, time.perf_counter() - t0)
+        self._m_batch_flushes.inc()
+        self._m_batch_items.inc(len(group))
+        return replies
+
+    def _consume_item_reply(
+        self,
+        kind: str,
+        subject: Any,
+        dest: int,
+        deadline: Deadline | None,
+        reply: Reply,
+    ) -> tuple[bool, Any]:
+        """Map one batched item reply onto classic ``_request`` return
+        semantics; a FAILED item (integrity failure, malformed subject)
+        retries alone through the classic ladder."""
+        if reply.status == Reply.OK:
+            return True, reply.value
+        if reply.status == Reply.MISS:
+            return False, reply.value
+        if reply.status == Reply.EXPIRED:
+            self.stats.deadline_aborts += 1
+            raise DeadlineExpiredError(
+                f"rank {self.rank}: batched {kind} of {subject!r} to rank "
+                f"{dest} dropped by the server: item deadline expired",
+                subject if isinstance(subject, str) else None,
+            )
+        self._m_batch_fallbacks.inc()
+        return self._request(kind, subject, dest, deadline=deadline)
 
     def _lookup(self, norm: str) -> FileRecord:
         """Metadata lookup with the runtime-output fallback: paths
@@ -1499,8 +2000,48 @@ class FanStoreDaemon:
         One :class:`~repro.comm.deadline.Deadline` (the caller's, or a
         fresh one from ``config.request_deadline``) budgets the whole
         ladder: tiers spend from it rather than stacking timeouts, and
-        a spent budget surfaces as :class:`DeadlineExpiredError`."""
+        a spent budget surfaces as :class:`DeadlineExpiredError`.
+
+        Concurrent fetches of the same key are *single-flighted*: one
+        caller runs the ladder (hedged or not), everyone else shares its
+        outcome — a miss storm costs one upstream fetch, and errors are
+        shared the same way. A follower whose own deadline lapses while
+        the leader is still fetching aborts alone; the flight runs on.
+        ``pipeline.coalesce = False`` opts out: every caller runs its
+        own ladder with fully independent errors.
+        """
         norm = normalize(path)
+        if not self.config.pipeline.coalesce:
+            return self._fetch_ladder(norm, deadline)
+        try:
+            value, led = self._fetch_flight.run(
+                norm,
+                lambda: self._fetch_ladder(norm, deadline),
+                timeout=None if deadline is None else deadline.remaining(),
+            )
+        except CommError:
+            raise
+        except FanStoreError:
+            raise
+        except TimeoutError:
+            # the bare single-flight wait timeout (leader errors are
+            # CommError/FanStoreError and re-raise above): this
+            # follower's budget died waiting on someone else's flight
+            self.stats.deadline_aborts += 1
+            raise DeadlineExpiredError(
+                f"rank {self.rank}: fetch of {norm} abandoned waiting on "
+                "a coalesced in-flight fetch: deadline expired",
+                norm,
+            )
+        if not led:
+            self._m_coalesced.inc()
+        return value
+
+    def _fetch_ladder(
+        self, norm: str, deadline: Deadline | None = None
+    ) -> bytes:
+        """The actual failover ladder behind :meth:`fetch_compressed`
+        (``norm`` pre-normalized; one execution per single-flight)."""
         record = self._lookup(norm)
         if (
             record.home_rank == self.rank
@@ -1579,15 +2120,17 @@ class FanStoreDaemon:
     def _home_fetch(
         self, norm: str, record: FileRecord, deadline: Deadline | None
     ) -> tuple[bool, Any]:
-        """The home-rank tier: a plain retried request, or — with
-        ``hedge_reads`` on and a replica available — a hedged one."""
+        """The home-rank tier: a plain retried request (batched when the
+        destination is busy), or — with ``hedge_reads`` on and a replica
+        available — a hedged one (never batched: a hedge is a latency
+        bet, and parking it behind a flush would forfeit it)."""
         if not self.config.hedge_reads:
-            return self._request(
+            return self._batched_request(
                 "fetch", norm, record.home_rank, deadline=deadline
             )
         replicas = self._replica_order(norm, record)
         if not replicas:
-            return self._request(
+            return self._batched_request(
                 "fetch", norm, record.home_rank, deadline=deadline
             )
         return self._hedged_fetch(norm, record, replicas[0], deadline)
@@ -1642,12 +2185,13 @@ class FanStoreDaemon:
         )
         with span:
             ctx = span.context()
-            wire_body = (
-                norm, reply_tag,
-                None if ctx is None else ctx.as_wire(),
-                time.monotonic() + budget,
-                self._fence_token(),
-            )
+            wire_body = Request(
+                subject=norm,
+                reply_tag=reply_tag,
+                trace_ctx=None if ctx is None else ctx.as_wire(),
+                deadline=time.monotonic() + budget,
+                epoch=self._fence_token(),
+            ).encode()
             t0 = time.perf_counter()
             comm.send(("fetch", wire_body), home, TAG_DAEMON)
             try:
@@ -1921,6 +2465,11 @@ class FanStoreDaemon:
         """Figure 2's open(): cache hit or fetch+decompress+insert.
         Pins the cache entry; pair with :meth:`close_file`.
 
+        The miss pipeline runs under the cache's single-flight table
+        (:meth:`DecompressedCache.get_or_compute`), so a miss storm on
+        one file decompresses it exactly once — concurrent openers share
+        the leader's installed entry, each taking its own pin.
+
         Misses take the *observed* branch — per-phase timing plus a
         possible trace root — on every ``metrics_every``-th miss, when
         trace sampling is enabled, or when this thread is already inside
@@ -1928,9 +2477,14 @@ class FanStoreDaemon:
         fast path). Everything else runs the bare pipeline: a hot local
         read is ~20 µs and always-on timing would dominate it."""
         norm = normalize(path)
-        cached = self.cache.open(norm)
-        if cached is not None:
-            return cached
+        return self.cache.get_or_compute(
+            norm, lambda: self._miss_bytes(norm)
+        )
+
+    def _miss_bytes(self, norm: str) -> bytes:
+        """The cache-miss factory: fetch + decompress, *not* inserted —
+        :meth:`DecompressedCache.get_or_compute` installs and pins the
+        result for every waiter of the flight."""
         self._obs_tick = tick = self._obs_tick + 1
         every = self.config.metrics_every
         if (
@@ -1938,16 +2492,15 @@ class FanStoreDaemon:
             or self._trace_opens
             or self.tracer.n_active
         ):
-            return self._open_observed(norm)
+            return self._observed_miss_bytes(norm)
         record = self._lookup(norm)
         compressed = self.fetch_compressed(norm)
-        plain = self._decompress(record, compressed)
-        return self.cache.insert(norm, plain)
+        return self._decompress(record, compressed)
 
-    def _open_observed(self, norm: str) -> bytes:
+    def _observed_miss_bytes(self, norm: str) -> bytes:
         """The sampled/traced miss path: same pipeline as
-        :meth:`open_file`, wrapped in a ``client.read`` span (started or
-        continued per :meth:`Tracer.maybe_root`) with per-phase
+        :meth:`_miss_bytes`, wrapped in a ``client.read`` span (started
+        or continued per :meth:`Tracer.maybe_root`) with per-phase
         latencies recorded into the ``daemon.phase.*`` histograms. The
         fetch phase includes any remote hops; verify is broken out
         separately via ``_last_verify_s`` (see :meth:`_blob_ok`)."""
@@ -1960,13 +2513,12 @@ class FanStoreDaemon:
             t2 = time.perf_counter()
             plain = self._decompress(record, compressed, observed=True)
             t3 = time.perf_counter()
-            out = self.cache.insert(norm, plain)
             self._h_meta.observe(t1 - t0)
             self._h_fetch.observe(t2 - t1)
             self._h_verify.observe(self._last_verify_s)
             self._h_decompress.observe(t3 - t2)
             self._h_open.observe(time.perf_counter() - t0)
-            return out
+            return plain
 
     def close_file(self, path: str) -> None:
         """Figure 4's close(): unpin (and free at refcount zero)."""
@@ -2026,5 +2578,5 @@ class FanStoreDaemon:
         owner = self._live_owner(norm)
         if owner == self.rank:
             return None
-        ok, rec = self._request("stat", norm, owner)
+        ok, rec = self._batched_request("stat", norm, owner)
         return rec if ok else None

@@ -171,7 +171,10 @@ class PartitionEntry:
     compressor_id: int
     stat: FileStat
     compressed_size: int
-    data: bytes | None = None
+    #: compressed payload — ``bytes`` from a streamed read, a
+    #: ``memoryview`` slice of the whole-partition buffer from a
+    #: zero-copy read, ``None`` for metadata-only scans
+    data: bytes | memoryview | None = None
     data_offset: int = -1  # byte offset of the payload within the partition
 
 
@@ -197,7 +200,14 @@ def write_partition(
 
 
 def _read_exact(stream: BinaryIO, n: int, what: str) -> bytes:
-    raw = stream.read(n)
+    try:
+        raw = stream.read(n)
+    except (OverflowError, MemoryError):
+        # a corrupt size field can be any 64-bit pattern — too big for
+        # stream.read's index type, or big enough to fail allocation
+        raise FormatError(
+            f"corrupt partition: implausible {what} length {n}"
+        ) from None
     if len(raw) != n:
         raise FormatError(f"truncated partition: expected {n} bytes of {what}")
     return raw
@@ -236,8 +246,69 @@ def iter_partition(
         )
 
 
-def read_partition(source: Path | BinaryIO, *, with_data: bool = True) -> list[PartitionEntry]:
-    """Read a whole partition from a path or open stream."""
+def _entries_from_buffer(buf: bytes) -> list[PartitionEntry]:
+    """Parse a whole in-memory partition, payloads as ``memoryview``
+    slices of ``buf`` — the zero-copy ingest path: one read of the
+    partition file, no per-entry payload copies."""
+    view = memoryview(buf)
+    total = len(buf)
+    if total < COUNT_LEN:
+        raise FormatError("truncated partition: expected 4 bytes of count")
+    count = _COUNT_STRUCT.unpack_from(buf, 0)[0]
+    offset = COUNT_LEN
+    entries: list[PartitionEntry] = []
+    for _ in range(count):
+        if offset + ENTRY_HEADER_LEN > total:
+            raise FormatError(
+                "truncated partition: expected "
+                f"{ENTRY_HEADER_LEN} bytes of entry header"
+            )
+        path = _unpack_path(bytes(view[offset:offset + MAGIC_PATH_LEN]))
+        offset += MAGIC_PATH_LEN
+        compressor_id = _ID_STRUCT.unpack_from(buf, offset)[0]
+        offset += COMPRESSOR_ID_LEN
+        stat = FileStat.unpack(bytes(view[offset:offset + STAT_LEN]))
+        offset += STAT_LEN
+        size = _SIZE_STRUCT.unpack_from(buf, offset)[0]
+        offset += SIZE_LEN
+        if offset + size > total:
+            raise FormatError(
+                f"truncated partition: expected {size} bytes of data"
+            )
+        entries.append(
+            PartitionEntry(
+                path=path,
+                compressor_id=compressor_id,
+                stat=stat,
+                compressed_size=size,
+                data=view[offset:offset + size],
+                data_offset=offset,
+            )
+        )
+        offset += size
+    return entries
+
+
+def read_partition(
+    source: Path | BinaryIO,
+    *,
+    with_data: bool = True,
+    zero_copy: bool = False,
+) -> list[PartitionEntry]:
+    """Read a whole partition from a path or open stream.
+
+    ``zero_copy=True`` (data mode only) reads the partition into one
+    buffer and yields payloads as ``memoryview`` slices of it — no
+    per-entry copy between the file and the backend. The slices keep
+    the whole buffer alive; use it when the payloads are about to be
+    retained together (daemon RAM ingest), not for picking one entry.
+    """
+    if zero_copy and with_data:
+        if isinstance(source, (str, Path)):
+            buf = Path(source).read_bytes()
+        else:
+            buf = source.read()
+        return _entries_from_buffer(buf)
     if isinstance(source, (str, Path)):
         with open(source, "rb") as stream:
             return list(iter_partition(stream, with_data=with_data))
@@ -249,8 +320,10 @@ def partition_payload_bytes(entries: Iterable[PartitionEntry]) -> int:
     return sum(e.compressed_size for e in entries)
 
 
-def blob_crc32(data: bytes) -> int:
-    """The per-record payload digest (crc32 of the compressed bytes)."""
+def blob_crc32(data: bytes | bytearray | memoryview) -> int:
+    """The per-record payload digest (crc32 of the compressed bytes).
+    Accepts any bytes-like buffer — zero-copy reads verify straight off
+    a ``memoryview`` slice."""
     return zlib.crc32(data) & 0xFFFFFFFF
 
 

@@ -50,6 +50,7 @@ from repro.fanstore.crash import DiskFaultInjector
 from repro.fanstore.daemon import DaemonConfig, DaemonStats, FanStoreDaemon
 from repro.fanstore.journal import JournalConfig
 from repro.fanstore.membership import FailureDetector, MembershipConfig
+from repro.fanstore.pipeline import PipelineConfig
 from repro.fanstore.prepare import PreparedDataset
 from repro.fanstore.scrub import ScrubReport, Scrubber
 from repro.obs.metrics import MetricsRegistry
@@ -105,6 +106,10 @@ class FanStoreOptions:
     #: by the backend write path and the journal's low-watermark probe
     #: (:class:`~repro.fanstore.crash.DiskFaultInjector`); None = off.
     disk_injector: DiskFaultInjector | None = None
+    #: pipelined-scheduler knobs (worker pool, in-flight bound, request
+    #: batching — :class:`~repro.fanstore.pipeline.PipelineConfig`).
+    #: None defers to ``config.pipeline``; a value here overrides it.
+    pipeline: PipelineConfig | None = None
 
 
 #: constructor keywords accepted pre-FanStoreOptions; each maps 1:1
@@ -158,9 +163,12 @@ class FanStore(ServiceMixin):
         journal_dir = None
         if opts.journal and isinstance(backend, DiskBackend):
             journal_dir = backend.root / "journal"
+        config = opts.config
+        if opts.pipeline is not None:
+            config = replace(config or DaemonConfig(), pipeline=opts.pipeline)
         self.daemon = FanStoreDaemon(
             comm,
-            config=opts.config,
+            config=config,
             backend=backend,
             registry=opts.registry,
             metrics=opts.metrics,

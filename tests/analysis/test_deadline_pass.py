@@ -89,3 +89,60 @@ class TestDeadlinePropagation:
         report = lint_tree({"fanstore/daemon.py": src})
         findings = rules_of(report, RULE)
         assert len(findings) == 1 and findings[0].waived
+
+
+ENVELOPE = textwrap.dedent(
+    """
+    TAG_DAEMON = 0x0FA0
+
+    class Daemon:
+        def _request(self, dest, reply_tag, budget):
+            wire_body = Request(
+                subject="p",
+                reply_tag=reply_tag,
+                deadline=self._clock() + budget,
+                epoch=self._fence_token(),
+            ).encode()
+            self.comm.send(("fetch", wire_body), dest, TAG_DAEMON)
+            return self.comm.recv(dest, reply_tag, budget)
+    """
+)
+
+
+class TestEnvelopeDeadlines:
+    """A Request envelope must state its expiry at the build site."""
+
+    def test_deadlined_envelope_is_clean(self, lint_tree):
+        report = lint_tree({"fanstore/daemon.py": ENVELOPE})
+        assert not rules_of(report, RULE), report.summary()
+
+    def test_explicit_none_is_a_visible_decision(self, lint_tree):
+        src = ENVELOPE.replace(
+            "deadline=self._clock() + budget,", "deadline=None,"
+        )
+        report = lint_tree({"fanstore/daemon.py": src})
+        assert not rules_of(report, RULE), report.summary()
+
+    def test_undeadlined_envelope_flagged(self, lint_tree):
+        src = ENVELOPE.replace(
+            "            deadline=self._clock() + budget,\n", ""
+        )
+        report = lint_tree({"fanstore/daemon.py": src})
+        findings = rules_of(report, RULE)
+        assert len(findings) == 1
+        assert "Request envelope" in findings[0].message
+        assert "deadline=" in findings[0].message
+
+    def test_kwargs_splat_gets_benefit_of_the_doubt(self, lint_tree):
+        src = ENVELOPE.replace(
+            "deadline=self._clock() + budget,", "**self._wire_kwargs,"
+        )
+        report = lint_tree({"fanstore/daemon.py": src})
+        assert not rules_of(report, RULE), report.summary()
+
+    def test_outside_fanstore_not_scoped(self, lint_tree):
+        src = ENVELOPE.replace(
+            "            deadline=self._clock() + budget,\n", ""
+        )
+        report = lint_tree({"comm/helper.py": src})
+        assert not rules_of(report, RULE), report.summary()

@@ -90,10 +90,10 @@ class TestProtocolConformance:
         )
         report = lint_tree({"fanstore/daemon.py": src})
         messages = [f.message for f in rules_of(report, "protocol-conformance")]
-        # the 6-tuple is flagged, and with it the fenced 5-tuple is missing
+        # the 6-tuple is flagged, and with it the fenced form is missing
         assert len(messages) == 2
         assert any("6 fields" in m for m in messages)
-        assert any("epoch-fenced 5-tuple" in m for m in messages)
+        assert any("never builds a fenced wire body" in m for m in messages)
 
     def test_missing_fenced_form_flagged(self, lint_tree):
         src = CONFORMING.replace(
@@ -102,7 +102,7 @@ class TestProtocolConformance:
         report = lint_tree({"fanstore/daemon.py": src})
         findings = rules_of(report, "protocol-conformance")
         assert len(findings) == 1
-        assert "epoch-fenced 5-tuple" in findings[0].message
+        assert "never builds a fenced wire body" in findings[0].message
 
     def test_waiver_applies(self, lint_tree):
         src = CONFORMING + textwrap.dedent(
@@ -116,3 +116,67 @@ class TestProtocolConformance:
         report = lint_tree({"fanstore/daemon.py": src})
         findings = rules_of(report, "protocol-conformance")
         assert findings and findings[0].waived
+
+
+ENVELOPE = textwrap.dedent(
+    """
+    TAG_DAEMON = 0x0FA0
+
+    class Daemon:
+        def _serve(self):
+            while True:
+                kind, body = self.comm.recv(-1, TAG_DAEMON, timeout=None)
+                if kind == "stop":
+                    break
+                if kind not in ("fetch", "stat", "batch"):
+                    continue
+                request = decode_request(body)
+
+        def _request(self, kind, body, dest):
+            reply_tag = self._next_tag()
+            wire_body = Request(
+                subject=body,
+                reply_tag=reply_tag,
+                trace_ctx=None,
+                deadline=self._clock() + self.timeout,
+                epoch=self._fence_token(),
+            ).encode()
+            self.comm.send((kind, wire_body), dest, TAG_DAEMON)
+            return self.comm.recv(dest, reply_tag, timeout=self.timeout)
+
+        def fetch(self, path):
+            return self._request("fetch", path, 0)
+    """
+)
+
+
+class TestEnvelopeConformance:
+    """The typed v2 envelope is a recognised wire form, held to the
+    same fencing bar as the legacy 5-tuple."""
+
+    def test_fenced_envelope_is_clean(self, lint_tree):
+        report = lint_tree({"fanstore/daemon.py": ENVELOPE})
+        assert not rules_of(report, "protocol-conformance"), report.summary()
+
+    def test_unfenced_envelope_flagged(self, lint_tree):
+        src = ENVELOPE.replace(
+            "            epoch=self._fence_token(),\n", ""
+        )
+        report = lint_tree({"fanstore/daemon.py": src})
+        messages = [f.message for f in rules_of(report, "protocol-conformance")]
+        # the envelope itself is flagged, and with it the helper never
+        # builds any fenced form at all
+        assert len(messages) == 2
+        assert any("without an epoch= fencing token" in m for m in messages)
+        assert any("never builds a fenced wire body" in m for m in messages)
+
+    def test_envelope_counts_as_wire_form_beside_tuples(self, lint_tree):
+        # a helper that builds only an unfenced legacy tuple plus a
+        # fenced envelope is covered: the envelope carries the token
+        src = ENVELOPE.replace(
+            "            self.comm.send((kind, wire_body), dest, TAG_DAEMON)",
+            "            legacy_body = (body, reply_tag)\n"
+            "            self.comm.send((kind, wire_body), dest, TAG_DAEMON)",
+        )
+        report = lint_tree({"fanstore/daemon.py": src})
+        assert not rules_of(report, "protocol-conformance"), report.summary()

@@ -30,6 +30,7 @@ from repro.fanstore.health import (
 )
 from repro.fanstore.layout import FileStat, blob_crc32
 from repro.fanstore.metadata import FileRecord
+from repro.fanstore.wire import decode_request
 
 
 class FakeClock:
@@ -390,7 +391,7 @@ def _serve_until_done(comm, reply=None):
         if kind == "done":
             return None
         if reply is not None:
-            _, reply_tag, *_ = body
+            reply_tag = decode_request(body).reply_tag
             comm.send(reply, src, reply_tag)
 
 
